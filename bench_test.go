@@ -1,0 +1,376 @@
+// Benchmarks: one per table and figure of the paper's evaluation, plus the
+// design-choice ablations called out in DESIGN.md. Each benchmark runs a
+// scaled-down instance of the corresponding experiment so `go test -bench`
+// stays laptop-sized; `cmd/evalharness` regenerates the full outputs.
+package chameleon_test
+
+import (
+	"testing"
+	"time"
+
+	"chameleon/internal/analyzer"
+	"chameleon/internal/eval"
+	"chameleon/internal/milp"
+	"chameleon/internal/scenario"
+	"chameleon/internal/scheduler"
+	"chameleon/internal/sitn"
+	"chameleon/internal/snowcap"
+)
+
+// BenchmarkFig01AbileneCaseStudy runs the full Fig. 1 comparison: Snowcap's
+// direct application (with its transient violations) vs Chameleon's safe
+// plan, both with packet-level measurement.
+func BenchmarkFig01AbileneCaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunCaseStudy("Abilene", 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Chameleon.Clean() {
+			b.Fatal("chameleon violated the spec")
+		}
+	}
+}
+
+// BenchmarkFig06PhaseTimeline measures planning + execution of the Abilene
+// case study, whose phase spans reproduce Fig. 6.
+func BenchmarkFig06PhaseTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pl, err := eval.BuildPipeline(s, eval.SpecEq4, scheduler.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pl.Schedule.R+2 < 3 {
+			b.Fatal("degenerate plan")
+		}
+	}
+}
+
+// BenchmarkFig07SchedulingTime runs the Fig. 7 scheduling sweep over a
+// fixed corpus slice spanning an order of magnitude in Cr.
+func BenchmarkFig07SchedulingTime(b *testing.B) {
+	names := []string{"Basnet", "Compuserve", "Aarnet", "Agis", "Arpanet19728"}
+	for i := 0; i < b.N; i++ {
+		outs := eval.SweepScheduling(names, 7, scheduler.DefaultOptions(), nil)
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatalf("%s: %v", o.Name, o.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig08SpecComplexity measures the φn-vs-φt scheduling-time gap.
+func BenchmarkFig08SpecComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, temporal := range []bool{false, true} {
+			if _, err := eval.SpecComplexitySweep("Aarnet", temporal, true,
+				[]float64{0, 1}, 2, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig09ReconfTimeCDF computes the T̃ distribution over a corpus
+// slice.
+func BenchmarkFig09ReconfTimeCDF(b *testing.B) {
+	names := []string{"Basnet", "Compuserve", "Sprint", "EEnet", "Aarnet"}
+	for i := 0; i < b.N; i++ {
+		outs := eval.SweepScheduling(names, 7, scheduler.DefaultOptions(), nil)
+		var xs []float64
+		for _, o := range outs {
+			if o.Err == nil {
+				xs = append(xs, o.EstimatedReconfTime.Seconds())
+			}
+		}
+		if eval.FractionBelow(xs, 120) == 0 {
+			b.Fatal("no scenario under two minutes")
+		}
+	}
+}
+
+// BenchmarkFig10TableOverhead measures Chameleon-vs-SITN table overhead.
+func BenchmarkFig10TableOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		outs := eval.SweepTableOverhead([]string{"Abilene", "Sprint"}, 7,
+			scheduler.DefaultOptions(), nil)
+		for _, o := range outs {
+			if o.Err != nil {
+				b.Fatalf("%s: %v", o.Name, o.Err)
+			}
+			if o.Chameleon >= o.SITN {
+				b.Fatal("chameleon overhead not below SITN")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11ExternalEvents runs both external-event experiments.
+func BenchmarkFig11ExternalEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunLinkFailureExperiment("Abilene", 7, 7*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		r, err := eval.RunNewRouteExperiment("Abilene", 7, 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.ConvergedToE4 {
+			b.Fatal("no convergence to e4")
+		}
+	}
+}
+
+// BenchmarkFig12SupplementaryCaseStudies runs the five App. C topologies.
+func BenchmarkFig12SupplementaryCaseStudies(b *testing.B) {
+	names := []string{"Compuserve", "HiberniaCanada", "Sprint", "JGN2plus", "EEnet"}
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			res, err := eval.RunCaseStudy(name, 7)
+			if err != nil {
+				b.Fatalf("%s: %v", name, err)
+			}
+			if !res.Chameleon.Clean() {
+				b.Fatalf("%s: chameleon violated", name)
+			}
+		}
+	}
+}
+
+// BenchmarkFig13LoopConstraintAblation compares explicit vs implicit loop
+// constraints (App. D).
+func BenchmarkFig13LoopConstraintAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, explicit := range []bool{true, false} {
+			if _, err := eval.SpecComplexitySweep("Sprint", true, explicit,
+				[]float64{0, 1}, 2, 7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1CompilationRules compiles the Abilene plan, exercising the
+// Table 1 rules.
+func BenchmarkTable1CompilationRules(b *testing.B) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl, err := eval.BuildPipeline(s, eval.SpecEq4, scheduler.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p2, err := rebuildPlan(pl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p2.Plan.NumSteps() == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+func rebuildPlan(pl *eval.Pipeline) (*eval.Pipeline, error) {
+	return eval.BuildPipeline(pl.Scenario, eval.SpecEq4, scheduler.DefaultOptions())
+}
+
+// BenchmarkTable2NamedTopologies schedules the smallest Table 2 topology
+// (Deltacom, 113 routers) end to end; the full table is regenerated by
+// `evalharness -table 2`.
+func BenchmarkTable2NamedTopologies(b *testing.B) {
+	if testing.Short() {
+		b.Skip("113-node scheduling skipped in -short")
+	}
+	for i := 0; i < b.N; i++ {
+		outs := eval.SweepScheduling([]string{"Deltacom"}, 7, scheduler.DefaultOptions(), nil)
+		if outs[0].Err != nil {
+			b.Fatal(outs[0].Err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §4) ----------------------------------------------
+
+// BenchmarkAblationObjective compares scheduling with and without the
+// temp-session minimization objective.
+func BenchmarkAblationObjective(b *testing.B) {
+	s, err := scenario.CaseStudy("Aarnet", scenario.Config{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := eval.ReachabilitySpec(s.Graph)
+	for _, minimize := range []bool{true, false} {
+		name := "feasibility-only"
+		if minimize {
+			name = "minimize-sessions"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := scheduler.DefaultOptions()
+			opts.MinimizeTempSessions = minimize
+			for i := 0; i < b.N; i++ {
+				sched, err := scheduler.Schedule(a, sp, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(sched.TempOldSessions+sched.TempNewSessions), "temp-sessions")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationConstructive compares the ILP scheduler against the
+// App. B constructive traversal for pure reachability.
+func BenchmarkAblationConstructive(b *testing.B) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ilp", func(b *testing.B) {
+		sp := eval.ReachabilitySpec(s.Graph)
+		for i := 0; i < b.N; i++ {
+			sched, err := scheduler.Schedule(a, sp, scheduler.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(sched.R), "rounds")
+		}
+	})
+	b.Run("constructive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sched, err := scheduler.ConstructiveReachability(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(sched.R), "rounds")
+		}
+	})
+}
+
+// BenchmarkAblationLPBounding measures the MILP solver with and without LP
+// relaxation bounding on a small optimization model.
+func BenchmarkAblationLPBounding(b *testing.B) {
+	build := func() *milp.Model {
+		m := milp.NewModel()
+		var vars []milp.VarID
+		for i := 0; i < 12; i++ {
+			vars = append(vars, m.NewInt("x", 0, 4))
+		}
+		for i := 0; i+2 < len(vars); i++ {
+			m.AddLe(milp.Lin().Add(vars[i], 2).Add(vars[i+1], 3).Add(vars[i+2], 1), 9)
+		}
+		obj := milp.Lin()
+		for i, v := range vars {
+			obj = obj.Add(v, int64(-(i%5 + 1)))
+		}
+		m.Minimize(obj)
+		return m
+	}
+	for _, lpb := range []bool{false, true} {
+		name := "propagation-only"
+		if lpb {
+			name = "with-lp-bound"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := build()
+				if _, err := m.Solve(milp.Options{UseLPBound: lpb, LPBoundEvery: 64}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBaselineSITN measures SITN's migration machinery.
+func BenchmarkAblationBaselineSITN(b *testing.B) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	final := s.FinalNetwork()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := sitn.NewDualPlane(s.Net, final, s.Prefix)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.Migrate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnowcapSynthesis measures the baseline's ordering search.
+func BenchmarkSnowcapSynthesis(b *testing.B) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := eval.ReachabilitySpec(s.Graph)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snowcap.Synthesize(s.Net, s.Prefix, s.Commands, sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorConvergence measures raw event-processing throughput of
+// the BGP simulator substrate on a mid-sized network.
+func BenchmarkSimulatorConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := scenario.CaseStudy("Aarnet", scenario.Config{Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(s.Net.MessagesProcessed()), "msgs")
+	}
+}
+
+// BenchmarkAblationConcurrency quantifies §4.2's concurrent updates: the
+// round count (and hence T̃) with concurrency enabled vs fully serialized
+// updates.
+func BenchmarkAblationConcurrency(b *testing.B) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := eval.ReachabilitySpec(s.Graph)
+	for _, serialize := range []bool{false, true} {
+		name := "concurrent"
+		if serialize {
+			name = "serialized"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := scheduler.DefaultOptions()
+			opts.SerializeUpdates = serialize
+			for i := 0; i < b.N; i++ {
+				sched, err := scheduler.Schedule(a, sp, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(sched.R), "rounds")
+			}
+		})
+	}
+}

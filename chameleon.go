@@ -1,0 +1,218 @@
+// Package chameleon is a Go implementation of Chameleon (SIGCOMM 2023,
+// "Taming the transient while reconfiguring BGP"): a BGP reconfiguration
+// framework that preserves forwarding invariants — expressed in an LTL
+// specification language over reach/waypoint predicates — throughout every
+// transient state of the reconfiguration, using only standard BGP
+// mechanisms (route-map weights and temporary iBGP sessions).
+//
+// The package is a facade over the building blocks:
+//
+//   - topology / igp / bgp / sim — the network substrate: graphs, OSPF-like
+//     shortest paths, the BGP decision process, and an event-based BGP
+//     simulator with route reflection and route maps.
+//   - spec — the Fig. 2 specification language (parser + evaluator).
+//   - analyzer / scheduler / plan / runtime — Chameleon's four stages:
+//     happens-before extraction, ILP scheduling, plan compilation, and the
+//     runtime controller.
+//   - snowcap / sitn — the baselines the paper compares against.
+//   - eval / traffic — the full evaluation harness for every figure/table.
+//
+// A minimal use:
+//
+//	s, _ := chameleon.NewCaseStudy("Abilene", 7)
+//	rec, _ := chameleon.Plan(s, chameleon.PlanOptions{})
+//	result, _ := rec.Execute(chameleon.ExecOptions{})
+package chameleon
+
+import (
+	"fmt"
+	"time"
+
+	"chameleon/internal/analyzer"
+	"chameleon/internal/bgp"
+	"chameleon/internal/eval"
+	"chameleon/internal/plan"
+	"chameleon/internal/runtime"
+	"chameleon/internal/scenario"
+	"chameleon/internal/scheduler"
+	"chameleon/internal/sim"
+	"chameleon/internal/spec"
+	"chameleon/internal/topology"
+)
+
+// Re-exported core types; the aliases make the internal packages' types
+// usable by downstream code through this package.
+type (
+	// Graph is the physical network topology.
+	Graph = topology.Graph
+	// NodeID identifies a router or external network.
+	NodeID = topology.NodeID
+	// Network is a live simulated BGP network.
+	Network = sim.Network
+	// Prefix is a destination prefix (equivalence class).
+	Prefix = bgp.Prefix
+	// Command is an atomic configuration change.
+	Command = sim.Command
+	// Spec is a parsed specification.
+	Spec = spec.Spec
+	// Scenario is a ready-made reconfiguration scenario.
+	Scenario = scenario.Scenario
+	// NodeSchedule is the scheduler's output.
+	NodeSchedule = scheduler.NodeSchedule
+	// ReconfigurationPlan is the compiled plan.
+	ReconfigurationPlan = plan.Plan
+	// ExecResult reports an executed reconfiguration.
+	ExecResult = runtime.Result
+	// Analysis is the analyzer's happens-before description.
+	Analysis = analyzer.Analysis
+)
+
+// NewGraph returns an empty topology.
+func NewGraph(name string) *Graph { return topology.New(name) }
+
+// ZooTopology returns one of the embedded evaluation topologies (Abilene is
+// the real backbone; the rest are deterministic synthetic graphs with the
+// published sizes).
+func ZooTopology(name string) (*Graph, error) { return topology.Zoo(name) }
+
+// ZooNames lists the evaluation corpus.
+func ZooNames() []string { return topology.ZooNames() }
+
+// NewNetwork builds a BGP network over g with the evaluation's default
+// message delays, seeded for reproducibility.
+func NewNetwork(g *Graph, seed uint64) *Network {
+	return sim.New(g, sim.DefaultOptions(seed))
+}
+
+// NewCaseStudy builds the paper's §6/§7 scenario on a corpus topology.
+func NewCaseStudy(topo string, seed uint64) (*Scenario, error) {
+	return scenario.CaseStudy(topo, scenario.Config{Seed: seed})
+}
+
+// RunningExample builds the Fig. 3 six-router example.
+func RunningExample() *Scenario { return scenario.RunningExample() }
+
+// ParseSpec parses a specification in the Fig. 2 surface syntax, resolving
+// node names against g. Example: "G reach(NewYork) && wp(Denver, Chicago)".
+func ParseSpec(input string, g *Graph) (*Spec, error) {
+	return spec.Parse(input, spec.GraphResolver(g))
+}
+
+// ReachabilitySpec builds G ∧ reach(n) over all internal routers of g.
+func ReachabilitySpec(g *Graph) *Spec { return eval.ReachabilitySpec(g) }
+
+// PlanOptions tune the planning pipeline.
+type PlanOptions struct {
+	// Spec is the invariant to preserve; nil defaults to full
+	// reachability.
+	Spec *Spec
+	// MaxRounds caps the round-minimization loop (default 16).
+	MaxRounds int
+	// TimeLimitPerRound bounds each feasibility solve (default 60 s).
+	TimeLimitPerRound time.Duration
+	// ObjectiveTimeLimit bounds temp-session minimization (default 5 s).
+	ObjectiveTimeLimit time.Duration
+	// DisableLoopConstraints drops the explicit Eq. 3 constraints
+	// (App. D ablation).
+	DisableLoopConstraints bool
+}
+
+// Reconfiguration is a fully planned reconfiguration, ready to execute.
+type Reconfiguration struct {
+	Scenario *Scenario
+	Analysis *Analysis
+	Spec     *Spec
+	Schedule *NodeSchedule
+	Plan     *ReconfigurationPlan
+}
+
+// Plan runs Chameleon's analyzer, scheduler and compiler on a scenario.
+func Plan(s *Scenario, opts PlanOptions) (*Reconfiguration, error) {
+	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("chameleon: analyze: %w", err)
+	}
+	sp := opts.Spec
+	if sp == nil {
+		sp = eval.ReachabilitySpec(s.Graph)
+	}
+	schedOpts := scheduler.DefaultOptions()
+	if opts.MaxRounds > 0 {
+		schedOpts.MaxRounds = opts.MaxRounds
+	}
+	if opts.TimeLimitPerRound > 0 {
+		schedOpts.TimeLimitPerRound = opts.TimeLimitPerRound
+	}
+	if opts.ObjectiveTimeLimit > 0 {
+		schedOpts.ObjectiveTimeLimit = opts.ObjectiveTimeLimit
+	}
+	schedOpts.ExplicitLoopConstraints = !opts.DisableLoopConstraints
+	sched, err := scheduler.Schedule(a, sp, schedOpts)
+	if err != nil {
+		return nil, fmt.Errorf("chameleon: schedule: %w", err)
+	}
+	if err := scheduler.Validate(a, sp, sched); err != nil {
+		return nil, fmt.Errorf("chameleon: schedule validation: %w", err)
+	}
+	p, err := plan.Compile(a, sched, s.Commands)
+	if err != nil {
+		return nil, fmt.Errorf("chameleon: compile: %w", err)
+	}
+	return &Reconfiguration{Scenario: s, Analysis: a, Spec: sp, Schedule: sched, Plan: p}, nil
+}
+
+// ExecOptions tune plan execution.
+type ExecOptions struct {
+	// Seed drives command-latency draws (defaults to the scenario seed).
+	Seed uint64
+	// CommandLatency overrides the 8–12 s router latency with a fixed
+	// value when nonzero.
+	CommandLatency time.Duration
+}
+
+// Execute applies the compiled plan to the scenario's live network,
+// mutating it. The returned result carries phase timings and the maximum
+// table size observed (§7.3).
+func (r *Reconfiguration) Execute(opts ExecOptions) (*ExecResult, error) {
+	seed := opts.Seed
+	if seed == 0 {
+		seed = r.Scenario.Seed
+	}
+	ro := runtime.DefaultOptions(seed)
+	if opts.CommandLatency > 0 {
+		ro.MinCommandLatency = opts.CommandLatency
+		ro.MaxCommandLatency = opts.CommandLatency
+	}
+	ex := runtime.NewExecutor(r.Scenario.Net, ro)
+	return ex.Execute(r.Plan)
+}
+
+// Verify evaluates the specification over the forwarding trace recorded
+// since res.Start, returning nil if every transient state satisfied it.
+func (r *Reconfiguration) Verify(res *ExecResult) error {
+	tr := r.Scenario.Net.Trace(r.Scenario.Prefix)
+	if tr == nil || len(tr.States) == 0 {
+		return fmt.Errorf("chameleon: no forwarding trace recorded")
+	}
+	tr.Compact()
+	start := res.Start.Seconds()
+	var window []int
+	for i, ts := range tr.Times {
+		if ts >= start-1e-9 {
+			window = append(window, i)
+		}
+	}
+	if len(window) == 0 {
+		return nil
+	}
+	sub := tr.States[window[0] : window[len(window)-1]+1]
+	if !r.Spec.Eval(sub) {
+		return fmt.Errorf("chameleon: specification %q violated during execution", r.Spec)
+	}
+	return nil
+}
+
+// EstimateReconfigurationTime returns T̃ = 12 s · (2 + R) (§7.2).
+func (r *Reconfiguration) EstimateReconfigurationTime() time.Duration {
+	return runtime.EstimateReconfigurationTime(r.Schedule.R)
+}

@@ -1,0 +1,195 @@
+package bgp
+
+import (
+	"sort"
+
+	"chameleon/internal/topology"
+)
+
+// SessionKind distinguishes the three BGP session roles a router can have
+// towards a neighbor.
+type SessionKind int
+
+const (
+	// EBGP is an external BGP session.
+	EBGP SessionKind = iota
+	// IBGPPeer is a regular iBGP session (full-mesh style, or reflector to
+	// reflector).
+	IBGPPeer
+	// IBGPClient marks the neighbor as this router's route-reflection
+	// client; the reverse direction of the session is IBGPUp at the client.
+	IBGPClient
+	// IBGPUp marks the neighbor as this router's route reflector.
+	IBGPUp
+)
+
+func (k SessionKind) String() string {
+	switch k {
+	case EBGP:
+		return "eBGP"
+	case IBGPPeer:
+		return "iBGP-peer"
+	case IBGPClient:
+		return "iBGP-client"
+	case IBGPUp:
+		return "iBGP-up"
+	}
+	return "unknown"
+}
+
+// AdjIn is the per-neighbor inbound RIB: the most recent route announced by
+// each neighbor for each prefix.
+type AdjIn struct {
+	// routes[neighbor][prefix] = route after ingress policy
+	routes map[topology.NodeID]map[Prefix]Route
+}
+
+// NewAdjIn returns an empty Adj-RIB-In.
+func NewAdjIn() *AdjIn {
+	return &AdjIn{routes: make(map[topology.NodeID]map[Prefix]Route)}
+}
+
+// Set records the route announced by neighbor for route.Prefix.
+func (a *AdjIn) Set(neighbor topology.NodeID, route Route) {
+	m := a.routes[neighbor]
+	if m == nil {
+		m = make(map[Prefix]Route)
+		a.routes[neighbor] = m
+	}
+	m[route.Prefix] = route
+}
+
+// Withdraw removes the route for prefix announced by neighbor, reporting
+// whether one was present.
+func (a *AdjIn) Withdraw(neighbor topology.NodeID, prefix Prefix) bool {
+	m := a.routes[neighbor]
+	if m == nil {
+		return false
+	}
+	if _, ok := m[prefix]; !ok {
+		return false
+	}
+	delete(m, prefix)
+	return true
+}
+
+// Get returns the route for prefix announced by neighbor, if any.
+func (a *AdjIn) Get(neighbor topology.NodeID, prefix Prefix) (Route, bool) {
+	m := a.routes[neighbor]
+	if m == nil {
+		return Route{}, false
+	}
+	r, ok := m[prefix]
+	return r, ok
+}
+
+// DropNeighbor removes all state from the given neighbor (session teardown)
+// and returns the prefixes that lost a route.
+func (a *AdjIn) DropNeighbor(neighbor topology.NodeID) []Prefix {
+	m := a.routes[neighbor]
+	if m == nil {
+		return nil
+	}
+	var prefixes []Prefix
+	for p := range m {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+	delete(a.routes, neighbor)
+	return prefixes
+}
+
+// Candidates returns all routes currently known for prefix, sorted by
+// advertising neighbor for determinism.
+func (a *AdjIn) Candidates(prefix Prefix) []Route {
+	var neighbors []topology.NodeID
+	for n, m := range a.routes {
+		if _, ok := m[prefix]; ok {
+			neighbors = append(neighbors, n)
+		}
+	}
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+	out := make([]Route, 0, len(neighbors))
+	for _, n := range neighbors {
+		out = append(out, a.routes[n][prefix])
+	}
+	return out
+}
+
+// NeighborRoute pairs a route with the neighbor that announced it.
+type NeighborRoute struct {
+	Neighbor topology.NodeID
+	Route    Route
+}
+
+// NeighborCandidates returns all (neighbor, route) pairs known for prefix,
+// sorted by neighbor ID for determinism.
+func (a *AdjIn) NeighborCandidates(prefix Prefix) []NeighborRoute {
+	var out []NeighborRoute
+	for n, m := range a.routes {
+		if r, ok := m[prefix]; ok {
+			out = append(out, NeighborRoute{Neighbor: n, Route: r})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Neighbor < out[j].Neighbor })
+	return out
+}
+
+// Prefixes returns all prefixes with at least one candidate route, sorted.
+func (a *AdjIn) Prefixes() []Prefix {
+	seen := make(map[Prefix]bool)
+	for _, m := range a.routes {
+		for p := range m {
+			seen[p] = true
+		}
+	}
+	out := make([]Prefix, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the total number of stored routes across all neighbors and
+// prefixes; this is the routing-table-size metric of §7.3.
+func (a *AdjIn) Size() int {
+	total := 0
+	for _, m := range a.routes {
+		total += len(m)
+	}
+	return total
+}
+
+// LocRIB is the per-prefix best-route table of one router.
+type LocRIB struct {
+	best map[Prefix]Route
+}
+
+// NewLocRIB returns an empty Loc-RIB.
+func NewLocRIB() *LocRIB { return &LocRIB{best: make(map[Prefix]Route)} }
+
+// Get returns the selected route for prefix, if any.
+func (l *LocRIB) Get(prefix Prefix) (Route, bool) {
+	r, ok := l.best[prefix]
+	return r, ok
+}
+
+// Set installs route as the selection for route.Prefix.
+func (l *LocRIB) Set(route Route) { l.best[route.Prefix] = route }
+
+// Clear removes the selection for prefix.
+func (l *LocRIB) Clear(prefix Prefix) { delete(l.best, prefix) }
+
+// Prefixes returns all prefixes with a selection, sorted.
+func (l *LocRIB) Prefixes() []Prefix {
+	out := make([]Prefix, 0, len(l.best))
+	for p := range l.best {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the number of selected routes.
+func (l *LocRIB) Size() int { return len(l.best) }

@@ -1,0 +1,257 @@
+package eval
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"chameleon/internal/scheduler"
+	"chameleon/internal/topology"
+)
+
+func TestStatsPercentiles(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	if m := Median(xs); m != 3 {
+		t.Errorf("Median = %v, want 3", m)
+	}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("P0 = %v, want 1", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("P100 = %v, want 5", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Errorf("P25 = %v, want 2", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if m := Mean([]float64{2, 4}); m != 3 {
+		t.Errorf("Mean = %v", m)
+	}
+}
+
+func TestCDFAndFractionBelow(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	vals, fracs := CDF(xs)
+	if len(vals) != 3 || vals[1] != 2 || fracs[1] != 0.75 {
+		t.Errorf("CDF = %v %v", vals, fracs)
+	}
+	if f := FractionBelow(xs, 2); f != 0.75 {
+		t.Errorf("FractionBelow(2) = %v", f)
+	}
+	if f := FractionBelow(xs, 0.5); f != 0 {
+		t.Errorf("FractionBelow(0.5) = %v", f)
+	}
+}
+
+func TestPearsonLogLog(t *testing.T) {
+	// y = x^2 in log-log space is perfectly linear: correlation 1.
+	var xs, ys []float64
+	for x := 1.0; x <= 64; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, x*x)
+	}
+	if r := PearsonLogLog(xs, ys); math.Abs(r-1) > 1e-9 {
+		t.Errorf("correlation = %v, want 1", r)
+	}
+	if r := PearsonLogLog(nil, nil); r != 0 {
+		t.Errorf("empty correlation = %v", r)
+	}
+}
+
+func TestSampleNodesDeterministic(t *testing.T) {
+	g := topology.MustZoo("Aarnet")
+	a := SampleNodes(g, 5, 42)
+	b := SampleNodes(g, 5, 42)
+	if len(a) != 5 {
+		t.Fatalf("got %d nodes", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SampleNodes not deterministic")
+		}
+	}
+	seen := map[topology.NodeID]bool{}
+	for _, n := range a {
+		if seen[n] {
+			t.Fatal("duplicate node sampled")
+		}
+		seen[n] = true
+	}
+	if got := SampleNodes(g, 10_000, 1); len(got) != len(g.Internal()) {
+		t.Errorf("oversampling returned %d nodes", len(got))
+	}
+}
+
+func TestRunCaseStudyAbilene(t *testing.T) {
+	res, err := RunCaseStudy("Abilene", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 1's headline claims: Snowcap drops packets and/or violates the
+	// waypoint spec transiently; Chameleon is perfectly clean and slower.
+	if res.Snowcap.Clean() {
+		t.Error("Snowcap run was clean — transient violations expected")
+	}
+	if !res.Chameleon.Clean() {
+		t.Errorf("Chameleon run violated: dropped=%.0f viol=%.0f",
+			res.Chameleon.TotalDropped, res.Chameleon.TotalViolations)
+	}
+	if res.ChameleonDuration <= res.SnowcapDuration {
+		t.Errorf("Chameleon (%v) should be slower than Snowcap (%v)",
+			res.ChameleonDuration, res.SnowcapDuration)
+	}
+	// Fig. 6's structure: setup + R rounds + cleanup phases.
+	if len(res.Phases) != res.R+2 {
+		t.Errorf("phases = %d, want R+2 = %d", len(res.Phases), res.R+2)
+	}
+}
+
+func TestSweepSchedulingSmall(t *testing.T) {
+	names := []string{"Abilene", "Basnet", "Epoch"}
+	outs := SweepScheduling(names, 7, scheduler.DefaultOptions(), nil)
+	if len(outs) != 3 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Errorf("%s: %v", o.Name, o.Err)
+			continue
+		}
+		if o.Cr <= 0 || o.R <= 0 || o.SchedulingTime <= 0 {
+			t.Errorf("%s: incomplete outcome %+v", o.Name, o)
+		}
+		if o.EstimatedReconfTime != time.Duration(2+o.R)*12*time.Second {
+			t.Errorf("%s: T̃ mismatch", o.Name)
+		}
+	}
+}
+
+func TestSpecComplexitySweepSmall(t *testing.T) {
+	pts, err := SpecComplexitySweep("Abilene", true, true, []float64{0, 1}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Nphi != 0 || pts[1].Nphi != 11 {
+		t.Errorf("Nphi = %d, %d", pts[0].Nphi, pts[1].Nphi)
+	}
+	for _, pt := range pts {
+		if len(pt.Times) != 2 || pt.Median <= 0 {
+			t.Errorf("point %+v incomplete", pt)
+		}
+	}
+}
+
+func TestSweepTableOverheadSmall(t *testing.T) {
+	outs := SweepTableOverhead([]string{"Abilene", "Sprint"}, 7, scheduler.DefaultOptions(), nil)
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Errorf("%s: %v", o.Name, o.Err)
+			continue
+		}
+		// Chameleon's overhead must be far below SITN's near-doubling.
+		if o.SITN < 0.5 {
+			t.Errorf("%s: SITN overhead %.2f, want ≈ 1", o.Name, o.SITN)
+		}
+		if o.Chameleon >= o.SITN {
+			t.Errorf("%s: Chameleon overhead %.2f not below SITN %.2f", o.Name, o.Chameleon, o.SITN)
+		}
+		if o.Chameleon < 0 || o.Chameleon > 0.6 {
+			t.Errorf("%s: Chameleon overhead %.2f outside plausible range", o.Name, o.Chameleon)
+		}
+	}
+}
+
+func TestRunLinkFailureExperiment(t *testing.T) {
+	res, err := RunLinkFailureExperiment("Abilene", 7, 7*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconfiguration completes; transient loss (if any) stays small
+	// (the paper reports ≈0.5 s of OSPF reconvergence loss).
+	if res.Measurement.ViolationSeconds > 2.0 {
+		t.Errorf("violation window %.2f s, want < 2 s", res.Measurement.ViolationSeconds)
+	}
+}
+
+func TestRunNewRouteExperiment(t *testing.T) {
+	res, err := RunNewRouteExperiment("Abilene", 7, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ConvergedToE4 {
+		t.Error("network did not adopt the e4 route after cleanup")
+	}
+}
+
+func TestAsciiCDF(t *testing.T) {
+	out := AsciiCDF("test", "s", []float64{1, 2, 3}, []float64{2})
+	if out == "" {
+		t.Fatal("empty output")
+	}
+	if AsciiCDF("empty", "s", nil, nil) == "" {
+		t.Fatal("empty-data output missing")
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	res, err := RunCaseStudy("Abilene", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteCaseStudyCSV(&buf, res.Chameleon); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "time_s,") {
+		t.Errorf("case study CSV malformed: %q", lines[0])
+	}
+
+	buf.Reset()
+	outs := SweepScheduling([]string{"Basnet"}, 7, scheduler.DefaultOptions(), nil)
+	if err := WriteSweepCSV(&buf, outs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Basnet") {
+		t.Error("sweep CSV missing topology row")
+	}
+
+	buf.Reset()
+	pts, err := SpecComplexitySweep("Basnet", false, true, []float64{0}, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSpecSweepCSV(&buf, "phi_n", pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "phi_n") {
+		t.Error("spec sweep CSV missing label")
+	}
+
+	buf.Reset()
+	ov := SweepTableOverhead([]string{"Basnet"}, 7, scheduler.DefaultOptions(), nil)
+	if err := WriteOverheadCSV(&buf, ov); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Basnet") {
+		t.Error("overhead CSV missing row")
+	}
+
+	dir := t.TempDir()
+	if err := SaveAllCSV(dir, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Abilene_snowcap.csv", "Abilene_chameleon.csv", "Abilene_phases.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+}

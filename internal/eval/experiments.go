@@ -1,0 +1,449 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"chameleon/internal/analyzer"
+	"chameleon/internal/plan"
+	"chameleon/internal/runtime"
+	"chameleon/internal/scenario"
+	"chameleon/internal/scheduler"
+	"chameleon/internal/sim"
+	"chameleon/internal/sitn"
+	"chameleon/internal/snowcap"
+	"chameleon/internal/spec"
+	"chameleon/internal/topology"
+	"chameleon/internal/traffic"
+)
+
+// Pipeline bundles the analyze→schedule→compile chain for one scenario.
+type Pipeline struct {
+	Scenario *scenario.Scenario
+	Analysis *analyzer.Analysis
+	Spec     *spec.Spec
+	Schedule *scheduler.NodeSchedule
+	Plan     *plan.Plan
+}
+
+// SpecKind selects which specification a sweep uses.
+type SpecKind int
+
+// Specification kinds.
+const (
+	SpecReachability SpecKind = iota
+	SpecEq4
+)
+
+// BuildPipeline analyzes, schedules and compiles the scenario under the
+// chosen specification.
+func BuildPipeline(s *scenario.Scenario, kind SpecKind, opts scheduler.Options) (*Pipeline, error) {
+	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	if err != nil {
+		return nil, err
+	}
+	var sp *spec.Spec
+	switch kind {
+	case SpecEq4:
+		sp = Eq4Spec(a, s.E1)
+	default:
+		sp = ReachabilitySpec(s.Graph)
+	}
+	sched, err := scheduler.Schedule(a, sp, opts)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Compile(a, sched, s.Commands)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Scenario: s, Analysis: a, Spec: sp, Schedule: sched, Plan: p}, nil
+}
+
+// --- Figs. 1, 6, 12: case studies ------------------------------------------
+
+// CaseStudyResult compares Snowcap and Chameleon on one topology.
+type CaseStudyResult struct {
+	Topology string
+
+	SnowcapDuration   time.Duration
+	Snowcap           *traffic.Measurement
+	ChameleonDuration time.Duration
+	Chameleon         *traffic.Measurement
+	Phases            []runtime.PhaseSpan
+	R                 int
+	TempSessions      int
+}
+
+// waypointRules derives the Eq. 4 measurement rules: each node exits via e1
+// until its single switch to its final egress.
+func waypointRules(a *analyzer.Analysis, e1 topology.NodeID) map[topology.NodeID]*traffic.WaypointRule {
+	rules := make(map[topology.NodeID]*traffic.WaypointRule)
+	for _, n := range a.Graph.Internal() {
+		en := a.NHNew.Egress(n)
+		if en == topology.None {
+			continue
+		}
+		rules[n] = &traffic.WaypointRule{Before: e1, After: en}
+	}
+	return rules
+}
+
+// RunCaseStudy reproduces the Figs. 1/6/12 experiment on the named
+// topology: the same reconfiguration applied once via Snowcap (direct) and
+// once via Chameleon, with packet-level measurement of both runs.
+func RunCaseStudy(name string, seed uint64) (*CaseStudyResult, error) {
+	out := &CaseStudyResult{Topology: name}
+
+	// Snowcap run.
+	sSnow, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	aSnow, err := analyzer.Analyze(sSnow.Net, sSnow.FinalNetwork(), sSnow.Prefix)
+	if err != nil {
+		return nil, err
+	}
+	start := sSnow.Net.Now()
+	sSnow.Net.RecordInitialState(sSnow.Prefix)
+	snowRes, err := snowcap.Apply(sSnow.Net, sSnow.Commands, []int{0}, 1700*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	out.SnowcapDuration = snowRes.Duration()
+	out.Snowcap = traffic.Measure(sSnow.Net.Trace(sSnow.Prefix), sSnow.Graph.Internal(),
+		waypointRules(aSnow, sSnow.E1), traffic.Options{
+			RatePerNode: 1500, Step: 0.01,
+			From: start.Seconds(), To: sSnow.Net.Now().Seconds() + 0.1,
+		})
+
+	// Chameleon run (fresh scenario, same seed → same network).
+	sCham, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	pl, err := BuildPipeline(sCham, SpecEq4, scheduler.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	ex := runtime.NewExecutor(sCham.Net, runtime.DefaultOptions(seed))
+	res, err := ex.Execute(pl.Plan)
+	if err != nil {
+		return nil, err
+	}
+	out.ChameleonDuration = res.Duration()
+	out.Phases = res.Phases
+	out.R = pl.Schedule.R
+	out.TempSessions = len(pl.Plan.TempSessions)
+	out.Chameleon = traffic.Measure(sCham.Net.Trace(sCham.Prefix), sCham.Graph.Internal(),
+		waypointRules(pl.Analysis, sCham.E1), traffic.Options{
+			RatePerNode: 1500, Step: 0.05,
+			From: res.Start.Seconds(), To: res.End.Seconds() + 0.1,
+		})
+	return out, nil
+}
+
+// --- Fig. 7, Fig. 9, Table 2: scheduling sweep ------------------------------
+
+// SweepOutcome is one corpus scenario's scheduling result.
+type SweepOutcome struct {
+	Name           string
+	Nodes          int
+	Switching      int
+	Cr             int
+	R              int
+	TempSessions   int
+	SchedulingTime time.Duration
+	// EstimatedReconfTime is T̃ = T̃rm (2 + R) with T̃rm = 12 s (§7.2).
+	EstimatedReconfTime time.Duration
+	Err                 error
+}
+
+// SweepScheduling runs the §7 reconfiguration scenario on each named
+// topology with the Eq. 4 specification and records scheduling time,
+// reconfiguration complexity Cr, and the resulting round count. The
+// temp-session optimization pass is capped tightly so the measured time is
+// dominated by the feasibility search, which is what correlates with Cr.
+func SweepScheduling(names []string, seed uint64, opts scheduler.Options, progress func(SweepOutcome)) []SweepOutcome {
+	if opts.ObjectiveTimeLimit == 0 || opts.ObjectiveTimeLimit > 500*time.Millisecond {
+		opts.ObjectiveTimeLimit = 500 * time.Millisecond
+	}
+	var out []SweepOutcome
+	for _, name := range names {
+		o := SweepOutcome{Name: name}
+		func() {
+			s, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+			if err != nil {
+				o.Err = err
+				return
+			}
+			o.Nodes = len(s.Graph.Internal())
+			a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+			if err != nil {
+				o.Err = err
+				return
+			}
+			o.Switching = len(a.Switching)
+			o.Cr = a.ReconfigurationComplexity()
+			sp := Eq4Spec(a, s.E1)
+			t0 := time.Now()
+			sched, err := scheduler.Schedule(a, sp, opts)
+			o.SchedulingTime = time.Since(t0)
+			if err != nil {
+				o.Err = err
+				return
+			}
+			o.R = sched.R
+			o.TempSessions = sched.TempOldSessions + sched.TempNewSessions
+			o.EstimatedReconfTime = runtime.EstimateReconfigurationTime(sched.R)
+		}()
+		out = append(out, o)
+		if progress != nil {
+			progress(o)
+		}
+	}
+	return out
+}
+
+// --- Figs. 8 and 13: specification complexity sweep ------------------------
+
+// SpecSweepPoint aggregates scheduling times for one |Nφ| value.
+type SpecSweepPoint struct {
+	Frac             float64
+	Nphi             int
+	Median, P10, P90 time.Duration
+	Times            []time.Duration
+}
+
+// SpecComplexitySweep measures scheduling time on one topology while the
+// number of waypoint-constrained nodes |Nφ| grows, with temporal (φt) or
+// non-temporal (φn) constraints, and with or without explicit loop
+// constraints (Fig. 13's ablation). Each point runs `runs` times with a
+// different random Nφ subset.
+func SpecComplexitySweep(name string, temporal, explicitLoops bool, fracs []float64, runs int, seed uint64) ([]SpecSweepPoint, error) {
+	s, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.Graph.Internal())
+	opts := scheduler.DefaultOptions()
+	opts.ExplicitLoopConstraints = explicitLoops
+	opts.ObjectiveTimeLimit = 500 * time.Millisecond
+	var points []SpecSweepPoint
+	for _, frac := range fracs {
+		k := int(frac * float64(n))
+		pt := SpecSweepPoint{Frac: frac, Nphi: k}
+		var xs []float64
+		for run := 0; run < runs; run++ {
+			nodes := SampleNodes(s.Graph, k, seed+uint64(run)*7919+uint64(k))
+			var sp *spec.Spec
+			if temporal {
+				sp = PhiT(a, s.E1, nodes)
+			} else {
+				sp = PhiN(a, s.E1, nodes)
+			}
+			t0 := time.Now()
+			if _, err := scheduler.Schedule(a, sp, opts); err != nil {
+				return nil, fmt.Errorf("eval: spec sweep %s |Nφ|=%d run %d: %w", name, k, run, err)
+			}
+			d := time.Since(t0)
+			pt.Times = append(pt.Times, d)
+			xs = append(xs, d.Seconds())
+		}
+		pt.Median = time.Duration(Median(xs) * float64(time.Second))
+		pt.P10 = time.Duration(Percentile(xs, 10) * float64(time.Second))
+		pt.P90 = time.Duration(Percentile(xs, 90) * float64(time.Second))
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// --- Fig. 10: routing table overhead ----------------------------------------
+
+// OverheadOutcome holds one scenario's §7.3 measurements, normalized by the
+// baseline maximum table size.
+type OverheadOutcome struct {
+	Name      string
+	Baseline  int
+	Chameleon float64
+	SITN      float64
+	Err       error
+}
+
+// SweepTableOverhead measures, per scenario: the baseline maximum table
+// size (direct reconfiguration), Chameleon's maximum during plan execution,
+// and SITN's dual-plane size — each as additional entries relative to the
+// baseline.
+func SweepTableOverhead(names []string, seed uint64, opts scheduler.Options, progress func(OverheadOutcome)) []OverheadOutcome {
+	var out []OverheadOutcome
+	for _, name := range names {
+		o := OverheadOutcome{Name: name}
+		func() {
+			// Baseline: direct application.
+			sBase, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+			if err != nil {
+				o.Err = err
+				return
+			}
+			sBase.Net.ResetMaxTableEntries()
+			if _, err := snowcap.Apply(sBase.Net, sBase.Commands, []int{0}, time.Second); err != nil {
+				o.Err = err
+				return
+			}
+			o.Baseline = sBase.Net.MaxTableEntries()
+
+			// Chameleon.
+			sCham, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+			if err != nil {
+				o.Err = err
+				return
+			}
+			pl, err := BuildPipeline(sCham, SpecEq4, opts)
+			if err != nil {
+				o.Err = err
+				return
+			}
+			ex := runtime.NewExecutor(sCham.Net, runtime.DefaultOptions(seed))
+			res, err := ex.Execute(pl.Plan)
+			if err != nil {
+				o.Err = err
+				return
+			}
+			o.Chameleon = float64(res.MaxTableEntries-o.Baseline) / float64(o.Baseline)
+			if o.Chameleon < 0 {
+				o.Chameleon = 0
+			}
+
+			// SITN.
+			sSitn, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+			if err != nil {
+				o.Err = err
+				return
+			}
+			dual, err := sitn.NewDualPlane(sSitn.Net, sSitn.FinalNetwork(), sSitn.Prefix)
+			if err != nil {
+				o.Err = err
+				return
+			}
+			o.SITN = float64(dual.TableEntries()-o.Baseline) / float64(o.Baseline)
+		}()
+		out = append(out, o)
+		if progress != nil {
+			progress(o)
+		}
+	}
+	return out
+}
+
+// --- Fig. 11: external events ------------------------------------------------
+
+// ExternalEventResult reports a Fig. 11 run.
+type ExternalEventResult struct {
+	Measurement *traffic.Measurement
+	Result      *runtime.Result
+	// ConvergedToE4 reports whether the network adopted the new e4 route
+	// after cleanup (Fig. 11b).
+	ConvergedToE4 bool
+}
+
+// RunLinkFailureExperiment reproduces Fig. 11a: a link fails mid-update;
+// OSPF reconverges (sub-second loss) but the reconfiguration completes
+// safely.
+func RunLinkFailureExperiment(name string, seed uint64, failAfter time.Duration) (*ExternalEventResult, error) {
+	s, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	pl, err := BuildPipeline(s, SpecReachability, scheduler.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	// Pick a link not adjacent to an egress or external node.
+	var la, lb topology.NodeID = topology.None, topology.None
+	for _, l := range s.Graph.Links() {
+		if s.Graph.Node(l.A).External || s.Graph.Node(l.B).External {
+			continue
+		}
+		if l.A == s.E1 || l.B == s.E1 || l.A == s.E2 || l.B == s.E2 || l.A == s.E3 || l.B == s.E3 {
+			continue
+		}
+		la, lb = l.A, l.B
+		break
+	}
+	opts := runtime.DefaultOptions(seed)
+	if la != topology.None {
+		fla, flb := la, lb
+		opts.ExternalEvents = []runtime.ScheduledEvent{{
+			After: failAfter, Name: "link failure",
+			Apply: func(n *sim.Network) {
+				n.FailLink(fla, flb)
+				n.Run()
+			},
+		}}
+	}
+	ex := runtime.NewExecutor(s.Net, opts)
+	res, err := ex.Execute(pl.Plan)
+	if err != nil {
+		return nil, err
+	}
+	m := traffic.Measure(s.Net.Trace(s.Prefix), s.Graph.Internal(), nil, traffic.Options{
+		RatePerNode: 1500, Step: 0.05,
+		From: res.Start.Seconds(), To: res.End.Seconds() + 0.1,
+	})
+	return &ExternalEventResult{Measurement: m, Result: res}, nil
+}
+
+// RunNewRouteExperiment reproduces Fig. 11b: a strictly better route is
+// announced at a fourth egress mid-update; the pinned transient state makes
+// routers ignore it until cleanup restores the original preferences, after
+// which the whole network adopts it. announceAfter should fall inside the
+// update phase: §8's guarantee covers events against the *installed*
+// transient state — an announcement racing the setup phase meets ordinary
+// unprotected BGP convergence, as it would without Chameleon.
+func RunNewRouteExperiment(name string, seed uint64, announceAfter time.Duration) (*ExternalEventResult, error) {
+	s, err := scenario.CaseStudy(name, scenario.Config{Seed: seed, SpareEgress: true})
+	if err != nil {
+		return nil, err
+	}
+	pl, err := BuildPipeline(s, SpecReachability, scheduler.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	opts := runtime.DefaultOptions(seed)
+	opts.ExternalEvents = []runtime.ScheduledEvent{{
+		After: announceAfter, Name: "better route at e4",
+		Apply: func(n *sim.Network) {
+			n.InjectExternalRoute(s.Ext4, sim.Announcement{Prefix: s.Prefix, ASPathLen: 0})
+		},
+	}}
+	ex := runtime.NewExecutor(s.Net, opts)
+	res, err := ex.Execute(pl.Plan)
+	if err != nil {
+		return nil, err
+	}
+	// §8: the guarantee covers the reconfiguration itself; cleanup
+	// deliberately releases the network to ordinary BGP convergence
+	// towards the (better) e4 route, so measure up to cleanup.
+	until := res.End
+	for _, ph := range res.Phases {
+		if ph.Name == "cleanup" {
+			until = ph.Start
+		}
+	}
+	m := traffic.Measure(s.Net.Trace(s.Prefix), s.Graph.Internal(), nil, traffic.Options{
+		RatePerNode: 1500, Step: 0.05,
+		From: res.Start.Seconds(), To: until.Seconds(),
+	})
+	out := &ExternalEventResult{Measurement: m, Result: res, ConvergedToE4: true}
+	for _, n := range s.Graph.Internal() {
+		best, ok := s.Net.Best(n, s.Prefix)
+		if !ok || best.Egress != s.E4 {
+			out.ConvergedToE4 = false
+		}
+	}
+	return out, nil
+}

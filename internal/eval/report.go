@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"chameleon/internal/traffic"
+)
+
+// WriteCaseStudyCSV writes a Fig. 1/6/12-style time series: one row per
+// sample with total/dropped/violating rates and per-egress throughput.
+func WriteCaseStudyCSV(w io.Writer, m *traffic.Measurement) error {
+	cw := csv.NewWriter(w)
+	egs := m.Egresses()
+	header := []string{"time_s", "delivered_pps", "dropped_pps", "waypoint_violations_pps"}
+	for _, e := range egs {
+		header = append(header, fmt.Sprintf("egress_n%d_pps", int(e)))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, s := range m.Samples {
+		row := []string{
+			formatF(s.Time), formatF(s.Delivered), formatF(s.Dropped),
+			formatF(s.WaypointViolations),
+		}
+		for _, e := range egs {
+			row = append(row, formatF(s.PerEgress[e]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepCSV writes the Fig. 7 / Fig. 9 / Table 2 sweep results.
+func WriteSweepCSV(w io.Writer, outs []SweepOutcome) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"topology", "nodes", "switching", "cr", "rounds", "temp_sessions",
+		"scheduling_time_s", "estimated_reconf_time_s", "error",
+	}); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		errStr := ""
+		if o.Err != nil {
+			errStr = o.Err.Error()
+		}
+		if err := cw.Write([]string{
+			o.Name, strconv.Itoa(o.Nodes), strconv.Itoa(o.Switching),
+			strconv.Itoa(o.Cr), strconv.Itoa(o.R), strconv.Itoa(o.TempSessions),
+			formatF(o.SchedulingTime.Seconds()),
+			formatF(o.EstimatedReconfTime.Seconds()), errStr,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSpecSweepCSV writes Fig. 8 / Fig. 13 points.
+func WriteSpecSweepCSV(w io.Writer, label string, pts []SpecSweepPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"spec", "nphi", "median_s", "p10_s", "p90_s", "runs"}); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		if err := cw.Write([]string{
+			label, strconv.Itoa(pt.Nphi),
+			formatF(pt.Median.Seconds()), formatF(pt.P10.Seconds()),
+			formatF(pt.P90.Seconds()), strconv.Itoa(len(pt.Times)),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteOverheadCSV writes Fig. 10 results.
+func WriteOverheadCSV(w io.Writer, outs []OverheadOutcome) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"topology", "baseline_entries", "chameleon_overhead", "sitn_overhead", "error"}); err != nil {
+		return err
+	}
+	for _, o := range outs {
+		errStr := ""
+		if o.Err != nil {
+			errStr = o.Err.Error()
+		}
+		if err := cw.Write([]string{
+			o.Name, strconv.Itoa(o.Baseline),
+			formatF(o.Chameleon), formatF(o.SITN), errStr,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WritePhaseCSV writes a Fig. 6-style phase timeline.
+func WritePhaseCSV(w io.Writer, r *CaseStudyResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"phase", "start_s", "end_s"}); err != nil {
+		return err
+	}
+	for _, ph := range r.Phases {
+		if err := cw.Write([]string{ph.Name, formatF(ph.Start.Seconds()), formatF(ph.End.Seconds())}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveAllCSV writes the full artifact set for one case-study result into
+// dir: snowcap/chameleon series and the phase timeline.
+func SaveAllCSV(dir string, r *CaseStudyResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := []struct {
+		name  string
+		write func(io.Writer) error
+	}{
+		{r.Topology + "_snowcap.csv", func(w io.Writer) error { return WriteCaseStudyCSV(w, r.Snowcap) }},
+		{r.Topology + "_chameleon.csv", func(w io.Writer) error { return WriteCaseStudyCSV(w, r.Chameleon) }},
+		{r.Topology + "_phases.csv", func(w io.Writer) error { return WritePhaseCSV(w, r) }},
+	}
+	for _, f := range files {
+		out, err := os.Create(filepath.Join(dir, f.name))
+		if err != nil {
+			return err
+		}
+		if err := f.write(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0–100) of xs by linear
+// interpolation; xs need not be sorted.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// CDF returns the empirical cumulative distribution as (value, fraction)
+// pairs at each distinct data point.
+func CDF(xs []float64) (values, fractions []float64) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, v := range s {
+		if i+1 < len(s) && s[i+1] == v {
+			continue
+		}
+		values = append(values, v)
+		fractions = append(fractions, float64(i+1)/float64(len(s)))
+	}
+	return values, fractions
+}
+
+// FractionBelow returns the fraction of samples ≤ x.
+func FractionBelow(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	count := 0
+	for _, v := range xs {
+		if v <= x {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
+
+// PearsonLogLog computes the Pearson correlation of log(x) vs log(y) for
+// positive pairs — the Fig. 7 "strong correlation" statistic.
+func PearsonLogLog(xs, ys []float64) float64 {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, logf(xs[i]))
+			ly = append(ly, logf(ys[i]))
+		}
+	}
+	return pearson(lx, ly)
+}
+
+func logf(x float64) float64 { return math.Log(x) }
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// AsciiCDF renders a small text CDF plot (for the eval harness output).
+func AsciiCDF(title, unit string, xs []float64, marks []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", title, len(xs))
+	if len(xs) == 0 {
+		return b.String()
+	}
+	for _, m := range marks {
+		fmt.Fprintf(&b, "  ≤ %8.1f %s : %5.1f%%\n", m, unit, 100*FractionBelow(xs, m))
+	}
+	fmt.Fprintf(&b, "  min %.2f / median %.2f / mean %.2f / p90 %.2f / max %.2f %s\n",
+		Percentile(xs, 0), Median(xs), Mean(xs), Percentile(xs, 90), Percentile(xs, 100), unit)
+	return b.String()
+}

@@ -1,0 +1,190 @@
+// Package fwd represents per-destination forwarding states: the mapping
+// nh : N → N ∪ {d, ∅} of §3. A State is shared between the simulator (which
+// produces them), the specification evaluator (which checks LTL properties
+// over sequences of them), and the traffic measurement harness.
+package fwd
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"chameleon/internal/topology"
+)
+
+// Special next-hop values. Regular values are internal router IDs.
+const (
+	// Drop (∅): the node has no route and drops packets.
+	Drop topology.NodeID = -1
+	// External (d): the node is the egress and hands packets to the
+	// external destination.
+	External topology.NodeID = -2
+)
+
+// State is a forwarding state for a single destination: State[n] is the
+// next hop of node n. Only internal routers have meaningful entries;
+// external nodes carry Drop.
+type State []topology.NodeID
+
+// NewState returns a state of size n where every node drops.
+func NewState(n int) State {
+	s := make(State, n)
+	for i := range s {
+		s[i] = Drop
+	}
+	return s
+}
+
+// Clone returns a copy of s.
+func (s State) Clone() State { return slices.Clone(s) }
+
+// Equal reports whether two states are identical.
+func (s State) Equal(o State) bool { return slices.Equal(s, o) }
+
+// Path walks the forwarding state from n. It returns the traversed nodes
+// (starting with n) and the terminal value: External if the packet exits,
+// Drop if it is dropped or enters a forwarding loop.
+func (s State) Path(n topology.NodeID) ([]topology.NodeID, topology.NodeID) {
+	var path []topology.NodeID
+	seen := make(map[topology.NodeID]bool)
+	cur := n
+	for {
+		if seen[cur] {
+			return path, Drop // forwarding loop
+		}
+		seen[cur] = true
+		path = append(path, cur)
+		nh := s[cur]
+		switch nh {
+		case Drop, External:
+			return path, nh
+		}
+		cur = nh
+	}
+}
+
+// Reach reports whether packets from n reach the external destination.
+func (s State) Reach(n topology.NodeID) bool {
+	_, term := s.Path(n)
+	return term == External
+}
+
+// Waypoint reports whether packets from n traverse w before exiting (a node
+// trivially waypoints through itself). Dropped or looping traffic does not
+// satisfy the waypoint.
+func (s State) Waypoint(n, w topology.NodeID) bool {
+	path, term := s.Path(n)
+	if term != External {
+		return false
+	}
+	return slices.Contains(path, w)
+}
+
+// HasLoop reports whether any node's forwarding path loops.
+func (s State) HasLoop() bool {
+	for n := range s {
+		if s[n] == Drop || s[n] == External {
+			continue
+		}
+		if _, term := s.Path(topology.NodeID(n)); term == Drop {
+			// Distinguish loop from honest drop: re-walk and check cycle.
+			if s.loopsFrom(topology.NodeID(n)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (s State) loopsFrom(n topology.NodeID) bool {
+	seen := make(map[topology.NodeID]bool)
+	cur := n
+	for {
+		if seen[cur] {
+			return true
+		}
+		seen[cur] = true
+		nh := s[cur]
+		if nh == Drop || nh == External {
+			return false
+		}
+		cur = nh
+	}
+}
+
+// Egress returns the node at which traffic from n exits, or topology.None
+// if it never exits.
+func (s State) Egress(n topology.NodeID) topology.NodeID {
+	path, term := s.Path(n)
+	if term != External || len(path) == 0 {
+		return topology.None
+	}
+	return path[len(path)-1]
+}
+
+// String renders the state compactly, e.g. "0→1 1→d 2→∅".
+func (s State) String() string {
+	var b strings.Builder
+	for n, nh := range s {
+		if n > 0 {
+			b.WriteByte(' ')
+		}
+		switch nh {
+		case Drop:
+			fmt.Fprintf(&b, "%d→∅", n)
+		case External:
+			fmt.Fprintf(&b, "%d→d", n)
+		default:
+			fmt.Fprintf(&b, "%d→%d", n, int(nh))
+		}
+	}
+	return b.String()
+}
+
+// Trace is a timestamped sequence of forwarding states for one destination.
+type Trace struct {
+	// Times[i] is when States[i] became active; States[i] remains active
+	// until Times[i+1] (or forever, for the last state).
+	Times  []float64 // seconds
+	States []State
+}
+
+// At returns the state active at time t (seconds). The first state is
+// assumed active from -inf.
+func (tr *Trace) At(t float64) State {
+	if len(tr.States) == 0 {
+		return nil
+	}
+	idx := 0
+	for i, ti := range tr.Times {
+		if ti <= t {
+			idx = i
+		} else {
+			break
+		}
+	}
+	return tr.States[idx]
+}
+
+// Append adds a state snapshot taken at time t.
+func (tr *Trace) Append(t float64, s State) {
+	tr.Times = append(tr.Times, t)
+	tr.States = append(tr.States, s.Clone())
+}
+
+// Compact drops consecutive duplicate states, keeping the earliest time of
+// each run.
+func (tr *Trace) Compact() {
+	if len(tr.States) == 0 {
+		return
+	}
+	outT := tr.Times[:1]
+	outS := tr.States[:1]
+	for i := 1; i < len(tr.States); i++ {
+		if !tr.States[i].Equal(outS[len(outS)-1]) {
+			outT = append(outT, tr.Times[i])
+			outS = append(outS, tr.States[i])
+		}
+	}
+	tr.Times, tr.States = outT, outS
+}

@@ -1,0 +1,122 @@
+package fwd
+
+import (
+	"testing"
+
+	"chameleon/internal/topology"
+)
+
+func TestPathReachAndEgress(t *testing.T) {
+	// 0 -> 1 -> 2 -> d, 3 -> drop
+	s := State{1, 2, External, Drop}
+	path, term := s.Path(0)
+	if term != External || len(path) != 3 {
+		t.Fatalf("Path(0) = %v, %v", path, term)
+	}
+	if !s.Reach(0) || !s.Reach(2) {
+		t.Error("0 and 2 must reach d")
+	}
+	if s.Reach(3) {
+		t.Error("3 must not reach d")
+	}
+	if e := s.Egress(0); e != 2 {
+		t.Errorf("Egress(0) = %d, want 2", e)
+	}
+	if e := s.Egress(3); e != topology.None {
+		t.Errorf("Egress(3) = %d, want None", e)
+	}
+}
+
+func TestWaypoint(t *testing.T) {
+	s := State{1, 2, External, External}
+	if !s.Waypoint(0, 1) {
+		t.Error("0 traverses 1")
+	}
+	if !s.Waypoint(0, 0) {
+		t.Error("a node waypoints through itself")
+	}
+	if s.Waypoint(3, 1) {
+		t.Error("3 exits directly, does not traverse 1")
+	}
+	dropping := State{Drop}
+	if dropping.Waypoint(0, 0) {
+		t.Error("dropped traffic never satisfies a waypoint")
+	}
+}
+
+func TestLoopDetection(t *testing.T) {
+	s := State{1, 0, External}
+	if !s.HasLoop() {
+		t.Error("0<->1 is a loop")
+	}
+	if s.Reach(0) {
+		t.Error("looping traffic does not reach d")
+	}
+	ok := State{1, External, Drop}
+	if ok.HasLoop() {
+		t.Error("no loop expected")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	s := State{1, External}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone must equal source")
+	}
+	c[0] = Drop
+	if s.Equal(c) {
+		t.Error("mutating clone must not affect source")
+	}
+	if s[0] != 1 {
+		t.Error("source mutated")
+	}
+}
+
+func TestNewState(t *testing.T) {
+	s := NewState(3)
+	for i, nh := range s {
+		if nh != Drop {
+			t.Errorf("NewState[%d] = %d, want Drop", i, nh)
+		}
+	}
+}
+
+func TestTraceAtAndCompact(t *testing.T) {
+	var tr Trace
+	s1 := State{External, Drop}
+	s2 := State{External, 0}
+	tr.Append(0, s1)
+	tr.Append(1, s1) // duplicate
+	tr.Append(2, s2)
+	tr.Compact()
+	if len(tr.States) != 2 {
+		t.Fatalf("Compact left %d states, want 2", len(tr.States))
+	}
+	if !tr.At(0.5).Equal(s1) {
+		t.Error("At(0.5) should be s1")
+	}
+	if !tr.At(2.5).Equal(s2) {
+		t.Error("At(2.5) should be s2")
+	}
+	if !tr.At(-1).Equal(s1) {
+		t.Error("At before first time returns first state")
+	}
+}
+
+func TestTraceAtEmpty(t *testing.T) {
+	var tr Trace
+	if tr.At(0) != nil {
+		t.Error("empty trace At should be nil")
+	}
+	tr.Compact() // must not panic
+}
+
+func TestStateString(t *testing.T) {
+	s := State{1, Drop, External}
+	got := s.String()
+	want := "0→1 1→∅ 2→d"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,259 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in inequality form:
+//
+//	minimize   c·x
+//	subject to A·x ≤ b,  x ≥ 0
+//
+// It is the linear-relaxation engine used by the MILP branch-and-bound
+// solver (package milp) when relaxation bounding is enabled, standing in
+// for the LP core of COIN-OR CBC used by the paper.
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Problem is an LP in inequality form. All constraints are Σ A[i]·x ≤ B[i];
+// variables are implicitly non-negative. Equalities and ≥ rows must be
+// rewritten by the caller (a ≥ row is a negated ≤ row; an = row is two
+// opposite ≤ rows).
+type Problem struct {
+	c []float64
+	A [][]float64
+	B []float64
+	n int
+}
+
+// NewProblem creates an LP with n non-negative variables.
+func NewProblem(n int) *Problem {
+	return &Problem{c: make([]float64, n), n: n}
+}
+
+// SetObjective sets the coefficient of variable j in the minimized
+// objective.
+func (p *Problem) SetObjective(j int, coeff float64) { p.c[j] = coeff }
+
+// AddLe appends the constraint row·x ≤ rhs. The row slice is copied.
+func (p *Problem) AddLe(row []float64, rhs float64) {
+	cp := make([]float64, p.n)
+	copy(cp, row)
+	p.A = append(p.A, cp)
+	p.B = append(p.B, rhs)
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// NumConstraints returns the number of constraint rows.
+func (p *Problem) NumConstraints() int { return len(p.A) }
+
+// Solution holds the optimum of an LP.
+type Solution struct {
+	X         []float64
+	Objective float64
+}
+
+// Solve runs two-phase simplex with Bland's anti-cycling rule.
+func (p *Problem) Solve() (*Solution, error) {
+	m, n := len(p.A), p.n
+	if m == 0 {
+		// No constraints: optimum is 0 unless some objective coefficient
+		// is negative (then unbounded).
+		for j := 0; j < n; j++ {
+			if p.c[j] < -eps {
+				return nil, ErrUnbounded
+			}
+		}
+		return &Solution{X: make([]float64, n), Objective: 0}, nil
+	}
+
+	// Tableau with slack variables: columns [x(n) | s(m) | rhs].
+	// Rows with negative rhs need artificial variables; we use the
+	// standard phase-1 construction: make rhs non-negative by negating
+	// rows, then slacks of negated rows get coefficient -1 and an
+	// artificial variable is added.
+	type tableau struct {
+		a     [][]float64
+		basis []int
+		cols  int
+	}
+	art := 0
+	negated := make([]bool, m)
+	for i := 0; i < m; i++ {
+		if p.B[i] < 0 {
+			negated[i] = true
+			art++
+		}
+	}
+	cols := n + m + art + 1
+	t := tableau{a: make([][]float64, m), basis: make([]int, m), cols: cols}
+	artCol := n + m
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols)
+		sign := 1.0
+		if negated[i] {
+			sign = -1.0
+		}
+		for j := 0; j < n; j++ {
+			row[j] = sign * p.A[i][j]
+		}
+		row[n+i] = sign // slack
+		row[cols-1] = sign * p.B[i]
+		if negated[i] {
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		} else {
+			t.basis[i] = n + i
+		}
+		t.a[i] = row
+	}
+
+	pivot := func(obj []float64, limitCols int) error {
+		for iter := 0; iter < 50000; iter++ {
+			// Bland's rule: entering = lowest-index column with negative
+			// reduced cost.
+			enter := -1
+			for j := 0; j < limitCols; j++ {
+				if obj[j] < -eps {
+					enter = j
+					break
+				}
+			}
+			if enter == -1 {
+				return nil
+			}
+			// Ratio test: leaving row.
+			leave, best := -1, math.Inf(1)
+			for i := 0; i < m; i++ {
+				if t.a[i][enter] > eps {
+					ratio := t.a[i][cols-1] / t.a[i][enter]
+					if ratio < best-eps || (math.Abs(ratio-best) <= eps &&
+						(leave == -1 || t.basis[i] < t.basis[leave])) {
+						best = ratio
+						leave = i
+					}
+				}
+			}
+			if leave == -1 {
+				return ErrUnbounded
+			}
+			// Pivot on (leave, enter).
+			pv := t.a[leave][enter]
+			for j := 0; j < cols; j++ {
+				t.a[leave][j] /= pv
+			}
+			for i := 0; i < m; i++ {
+				if i == leave || math.Abs(t.a[i][enter]) < eps {
+					continue
+				}
+				f := t.a[i][enter]
+				for j := 0; j < cols; j++ {
+					t.a[i][j] -= f * t.a[leave][j]
+				}
+			}
+			f := obj[enter]
+			if math.Abs(f) > eps {
+				for j := 0; j < cols; j++ {
+					obj[j] -= f * t.a[leave][j]
+				}
+			}
+			t.basis[leave] = enter
+		}
+		return errors.New("lp: iteration limit exceeded")
+	}
+
+	// Phase 1: minimize sum of artificials.
+	if art > 0 {
+		obj := make([]float64, cols)
+		for j := n + m; j < n+m+art; j++ {
+			obj[j] = 1
+		}
+		// Reduce: subtract basic artificial rows.
+		for i := 0; i < m; i++ {
+			if t.basis[i] >= n+m {
+				for j := 0; j < cols; j++ {
+					obj[j] -= t.a[i][j]
+				}
+			}
+		}
+		if err := pivot(obj, n+m+art); err != nil {
+			if errors.Is(err, ErrUnbounded) {
+				return nil, ErrInfeasible
+			}
+			return nil, err
+		}
+		if -obj[cols-1] > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Drive any remaining artificial out of the basis.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < n+m {
+				continue
+			}
+			moved := false
+			for j := 0; j < n+m; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					pv := t.a[i][j]
+					for k := 0; k < cols; k++ {
+						t.a[i][k] /= pv
+					}
+					for i2 := 0; i2 < m; i2++ {
+						if i2 == i || math.Abs(t.a[i2][j]) < eps {
+							continue
+						}
+						f := t.a[i2][j]
+						for k := 0; k < cols; k++ {
+							t.a[i2][k] -= f * t.a[i][k]
+						}
+					}
+					t.basis[i] = j
+					moved = true
+					break
+				}
+			}
+			if !moved {
+				// Redundant row; leave the artificial basic at zero.
+				_ = moved
+			}
+		}
+	}
+
+	// Phase 2: minimize the real objective over x and slack columns only.
+	obj := make([]float64, cols)
+	for j := 0; j < n; j++ {
+		obj[j] = p.c[j]
+	}
+	for i := 0; i < m; i++ {
+		if t.basis[i] < cols-1 && math.Abs(obj[t.basis[i]]) > eps {
+			f := obj[t.basis[i]]
+			for j := 0; j < cols; j++ {
+				obj[j] -= f * t.a[i][j]
+			}
+		}
+	}
+	if err := pivot(obj, n+m); err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if t.basis[i] < n {
+			x[t.basis[i]] = t.a[i][cols-1]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += p.c[j] * x[j]
+	}
+	return &Solution{X: x, Objective: objVal}, nil
+}

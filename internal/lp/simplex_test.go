@@ -1,0 +1,206 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMaximization(t *testing.T) {
+	// max x+y s.t. x+2y<=4, 3x+y<=6  -> min -x-y.
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -1)
+	p.AddLe([]float64{1, 2}, 4)
+	p.AddLe([]float64{3, 1}, 6)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimum at intersection: x=8/5, y=6/5, obj=-14/5.
+	if !approx(s.Objective, -14.0/5) {
+		t.Errorf("objective = %v, want -2.8", s.Objective)
+	}
+}
+
+func TestUnconstrainedZero(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 0) {
+		t.Errorf("objective = %v, want 0", s.Objective)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, -1) // max x with no constraints
+	if _, err := p.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+	p2 := NewProblem(2)
+	p2.SetObjective(1, -1)
+	p2.AddLe([]float64{1, 0}, 3)
+	if _, err := p2.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and -x <= -3 (x >= 3): infeasible.
+	p := NewProblem(1)
+	p.AddLe([]float64{1}, 1)
+	p.AddLe([]float64{-1}, -3)
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestNegativeRHSFeasible(t *testing.T) {
+	// -x <= -2 (x >= 2), x <= 5, min x -> 2.
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddLe([]float64{-1}, -2)
+	p.AddLe([]float64{1}, 5)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 2) {
+		t.Errorf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestEqualityViaTwoRows(t *testing.T) {
+	// x + y = 3 (two rows), min x with y <= 2 -> x = 1.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddLe([]float64{1, 1}, 3)
+	p.AddLe([]float64{-1, -1}, -3)
+	p.AddLe([]float64{0, 1}, 2)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 1) {
+		t.Errorf("objective = %v, want 1", s.Objective)
+	}
+}
+
+func TestDegeneratePivoting(t *testing.T) {
+	// A classic degenerate LP (Beale's example shape); Bland's rule must
+	// terminate.
+	p := NewProblem(4)
+	p.SetObjective(0, -0.75)
+	p.SetObjective(1, 150)
+	p.SetObjective(2, -0.02)
+	p.SetObjective(3, 6)
+	p.AddLe([]float64{0.25, -60, -0.04, 9}, 0)
+	p.AddLe([]float64{0.5, -90, -0.02, 3}, 0)
+	p.AddLe([]float64{0, 0, 1, 0}, 1)
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, -0.05) {
+		t.Errorf("objective = %v, want -0.05", s.Objective)
+	}
+}
+
+// TestSolutionsAreFeasible property-checks that any returned solution
+// satisfies all constraints on random LPs.
+func TestSolutionsAreFeasible(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		n := rng.IntN(5) + 1
+		m := rng.IntN(6) + 1
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.SetObjective(j, float64(rng.IntN(11)-5))
+		}
+		rows := make([][]float64, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rows[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				rows[i][j] = float64(rng.IntN(7) - 3)
+			}
+			rhs[i] = float64(rng.IntN(21) - 5)
+			p.AddLe(rows[i], rhs[i])
+		}
+		s, err := p.Solve()
+		if err != nil {
+			return true // infeasible/unbounded is a legal outcome
+		}
+		for i := 0; i < m; i++ {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				lhs += rows[i][j] * s.X[j]
+			}
+			if lhs > rhs[i]+1e-6 {
+				return false
+			}
+		}
+		for j := 0; j < n; j++ {
+			if s.X[j] < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimalityAgainstVertexEnumeration cross-checks small 2-variable LPs
+// against brute-force evaluation over a fine grid.
+func TestOptimalityAgainstGrid(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 29))
+		p := NewProblem(2)
+		c := []float64{float64(rng.IntN(9) - 4), float64(rng.IntN(9) - 4)}
+		p.SetObjective(0, c[0])
+		p.SetObjective(1, c[1])
+		rows := [][]float64{{1, 0}, {0, 1}} // keep the region bounded
+		rhs := []float64{10, 10}
+		m := rng.IntN(4)
+		for i := 0; i < m; i++ {
+			rows = append(rows, []float64{float64(rng.IntN(5) - 2), float64(rng.IntN(5) - 2)})
+			rhs = append(rhs, float64(rng.IntN(15)))
+		}
+		for i := range rows {
+			p.AddLe(rows[i], rhs[i])
+		}
+		s, err := p.Solve()
+		if err != nil {
+			return true
+		}
+		// Grid search at 0.5 resolution must not beat the simplex optimum.
+		for x := 0.0; x <= 10; x += 0.5 {
+			for y := 0.0; y <= 10; y += 0.5 {
+				ok := true
+				for i := range rows {
+					if rows[i][0]*x+rows[i][1]*y > rhs[i]+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok && c[0]*x+c[1]*y < s.Objective-1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

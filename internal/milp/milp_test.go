@@ -1,0 +1,516 @@
+package milp
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func solve(t *testing.T, m *Model, opts Options) *Solution {
+	t.Helper()
+	s, err := m.Solve(opts)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if msg := m.Check(s.Values); msg != "" {
+		t.Fatalf("solution violates model: %s", msg)
+	}
+	return s
+}
+
+func TestFeasibilitySimple(t *testing.T) {
+	m := NewModel()
+	x := m.NewInt("x", 0, 10)
+	y := m.NewInt("y", 0, 10)
+	m.AddLe(Sum(x, y), 7)
+	m.AddGe(VarExpr(x), 3)
+	m.AddGe(VarExpr(y), 2)
+	s := solve(t, m, Options{})
+	if s.Values[x] < 3 || s.Values[y] < 2 || s.Values[x]+s.Values[y] > 7 {
+		t.Errorf("bad solution: %v", s.Values)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.NewInt("x", 0, 5)
+	m.AddGe(VarExpr(x), 3)
+	m.AddLe(VarExpr(x), 2)
+	if _, err := m.Solve(Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestOptimizationKnapsack(t *testing.T) {
+	// max 10a+6b+4c s.t. a+b+c<=2 (0/1) -> 16.
+	m := NewModel()
+	a, b, c := m.NewBool("a"), m.NewBool("b"), m.NewBool("c")
+	m.AddLe(Sum(a, b, c), 2)
+	m.Maximize(Lin().Add(a, 10).Add(b, 6).Add(c, 4))
+	s := solve(t, m, Options{})
+	if got := 10*s.Values[a] + 6*s.Values[b] + 4*s.Values[c]; got != 16 {
+		t.Errorf("objective value = %d, want 16", got)
+	}
+	if !s.Stats.Optimal {
+		t.Error("search should complete")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	m := NewModel()
+	x := m.NewInt("x", 0, 100)
+	y := m.NewInt("y", 0, 100)
+	m.AddGe(Lin().Add(x, 2).Add(y, 3), 12)
+	m.Minimize(Sum(x, y))
+	s := solve(t, m, Options{})
+	if got := Eval(Sum(x, y), s.Values); got != 4 {
+		t.Errorf("min x+y = %d, want 4 (x=0,y=4)", got)
+	}
+}
+
+func TestImplications(t *testing.T) {
+	m := NewModel()
+	b := m.NewBool("b")
+	x := m.NewInt("x", 0, 10)
+	m.AddImpliesLe(b, VarExpr(x), 3)
+	m.AddImpliesGe(b, VarExpr(x), 2)
+	m.AddEq(VarExpr(b), 1)
+	m.AddEq(VarExpr(x).Add(b, 0), 3) // x = 3 is admissible
+	s := solve(t, m, Options{})
+	if s.Values[x] < 2 || s.Values[x] > 3 {
+		t.Errorf("x = %d, want in [2,3]", s.Values[x])
+	}
+}
+
+func TestImplicationInactiveWhenFalse(t *testing.T) {
+	m := NewModel()
+	b := m.NewBool("b")
+	x := m.NewInt("x", 0, 10)
+	m.AddImpliesLe(b, VarExpr(x), 3)
+	m.AddEq(VarExpr(b), 0)
+	m.AddGe(VarExpr(x), 8) // only possible because b=0 disables the cap
+	s := solve(t, m, Options{})
+	if s.Values[x] < 8 {
+		t.Errorf("x = %d, want >= 8", s.Values[x])
+	}
+}
+
+func TestReifyLe(t *testing.T) {
+	for _, fix := range []int64{0, 1} {
+		m := NewModel()
+		x := m.NewInt("x", 0, 10)
+		b := m.ReifyLe("b", VarExpr(x), 5)
+		m.AddEq(VarExpr(b), fix)
+		s := solve(t, m, Options{})
+		if fix == 1 && s.Values[x] > 5 {
+			t.Errorf("b=1 but x=%d > 5", s.Values[x])
+		}
+		if fix == 0 && s.Values[x] <= 5 {
+			t.Errorf("b=0 but x=%d <= 5", s.Values[x])
+		}
+	}
+}
+
+func TestReifyEq(t *testing.T) {
+	for _, fix := range []int64{0, 1} {
+		m := NewModel()
+		x := m.NewInt("x", 0, 6)
+		b := m.ReifyEq("b", VarExpr(x), 4)
+		m.AddEq(VarExpr(b), fix)
+		s := solve(t, m, Options{})
+		if fix == 1 && s.Values[x] != 4 {
+			t.Errorf("b=1 but x=%d", s.Values[x])
+		}
+		if fix == 0 && s.Values[x] == 4 {
+			t.Errorf("b=0 but x=4")
+		}
+	}
+}
+
+func TestBoolLogic(t *testing.T) {
+	m := NewModel()
+	a, b := m.NewBool("a"), m.NewBool("b")
+	or := m.NewBool("or")
+	and := m.NewBool("and")
+	not := m.NewBool("not")
+	m.AddBoolOr(or, a, b)
+	m.AddBoolAnd(and, a, b)
+	m.AddBoolNot(not, a)
+	// Enumerate all assignments of (a, b) by solving with fixed values.
+	for _, av := range []int64{0, 1} {
+		for _, bv := range []int64{0, 1} {
+			m2 := NewModel()
+			a2, b2 := m2.NewBool("a"), m2.NewBool("b")
+			or2, and2, not2 := m2.NewBool("or"), m2.NewBool("and"), m2.NewBool("not")
+			m2.AddBoolOr(or2, a2, b2)
+			m2.AddBoolAnd(and2, a2, b2)
+			m2.AddBoolNot(not2, a2)
+			m2.AddEq(VarExpr(a2), av)
+			m2.AddEq(VarExpr(b2), bv)
+			s := solve(t, m2, Options{})
+			wantOr, wantAnd, wantNot := int64(0), int64(0), 1-av
+			if av == 1 || bv == 1 {
+				wantOr = 1
+			}
+			if av == 1 && bv == 1 {
+				wantAnd = 1
+			}
+			if s.Values[or2] != wantOr || s.Values[and2] != wantAnd || s.Values[not2] != wantNot {
+				t.Errorf("a=%d b=%d: or=%d and=%d not=%d", av, bv,
+					s.Values[or2], s.Values[and2], s.Values[not2])
+			}
+		}
+	}
+	_ = or
+	_ = and
+	_ = not
+}
+
+func TestExactlyOneAndAtLeastOne(t *testing.T) {
+	m := NewModel()
+	var bs []VarID
+	for i := 0; i < 5; i++ {
+		bs = append(bs, m.NewBool("b"))
+	}
+	m.ExactlyOne(bs...)
+	m.Maximize(Sum(bs...))
+	s := solve(t, m, Options{})
+	if got := Eval(Sum(bs...), s.Values); got != 1 {
+		t.Errorf("ExactlyOne violated: sum=%d", got)
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	// A model with a huge search space and no solution; the time limit
+	// must fire.
+	m := NewModel()
+	var vars []VarID
+	for i := 0; i < 40; i++ {
+		vars = append(vars, m.NewInt("x", 0, 1000))
+	}
+	// Σ x_i = 39999 with parity cuts that make it infeasible but hard for
+	// pure bounds propagation to refute instantly.
+	e := Lin()
+	for _, v := range vars {
+		e = e.Add(v, 2)
+	}
+	m.AddEq(e, 39999) // even = odd: infeasible but propagation sees bounds only
+	start := time.Now()
+	_, err := m.Solve(Options{TimeLimit: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("time limit ignored: ran %v", elapsed)
+	}
+}
+
+func TestBranchOrderRespected(t *testing.T) {
+	m := NewModel()
+	x := m.NewInt("x", 0, 5)
+	y := m.NewInt("y", 0, 5)
+	m.AddGe(Sum(x, y), 1)
+	s := solve(t, m, Options{BranchOrder: []VarID{y, x}})
+	// Ascending enumeration with y branched first gives y=0... then x
+	// must be >= 1; but y=0,x=0 fails, so first feasible is x=1,y=0.
+	if s.Values[x] != 1 || s.Values[y] != 0 {
+		t.Errorf("got x=%d y=%d, want x=1 y=0", s.Values[x], s.Values[y])
+	}
+}
+
+func TestDuplicateTermsMerged(t *testing.T) {
+	m := NewModel()
+	x := m.NewInt("x", 0, 10)
+	m.AddLe(Lin().Add(x, 1).Add(x, 1), 6) // 2x <= 6
+	m.Maximize(VarExpr(x))
+	s := solve(t, m, Options{})
+	if s.Values[x] != 3 {
+		t.Errorf("x = %d, want 3", s.Values[x])
+	}
+}
+
+// TestBruteForceCrossCheck compares optimal objectives against exhaustive
+// enumeration on random small models.
+func TestBruteForceCrossCheck(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 41))
+		n := rng.IntN(4) + 2
+		hi := int64(rng.IntN(3) + 1)
+		m := NewModel()
+		var vars []VarID
+		for i := 0; i < n; i++ {
+			vars = append(vars, m.NewInt("v", 0, hi))
+		}
+		type row struct {
+			coeffs []int64
+			rhs    int64
+		}
+		var rows []row
+		nc := rng.IntN(4) + 1
+		for i := 0; i < nc; i++ {
+			r := row{coeffs: make([]int64, n), rhs: int64(rng.IntN(13) - 3)}
+			e := Lin()
+			for j := 0; j < n; j++ {
+				r.coeffs[j] = int64(rng.IntN(7) - 3)
+				e = e.Add(vars[j], r.coeffs[j])
+			}
+			rows = append(rows, r)
+			m.AddLe(e, r.rhs)
+		}
+		objC := make([]int64, n)
+		obj := Lin()
+		for j := 0; j < n; j++ {
+			objC[j] = int64(rng.IntN(9) - 4)
+			obj = obj.Add(vars[j], objC[j])
+		}
+		m.Minimize(obj)
+
+		// Brute force.
+		bestBF := int64(1 << 60)
+		feasible := false
+		assign := make([]int64, n)
+		var walk func(i int)
+		walk = func(i int) {
+			if i == n {
+				for _, r := range rows {
+					s := int64(0)
+					for j := 0; j < n; j++ {
+						s += r.coeffs[j] * assign[j]
+					}
+					if s > r.rhs {
+						return
+					}
+				}
+				feasible = true
+				v := int64(0)
+				for j := 0; j < n; j++ {
+					v += objC[j] * assign[j]
+				}
+				if v < bestBF {
+					bestBF = v
+				}
+				return
+			}
+			for v := int64(0); v <= hi; v++ {
+				assign[i] = v
+				walk(i + 1)
+			}
+		}
+		walk(0)
+
+		sol, err := m.Solve(Options{})
+		if !feasible {
+			return errors.Is(err, ErrInfeasible)
+		}
+		if err != nil {
+			return false
+		}
+		return sol.Objective == bestBF && m.Check(sol.Values) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLPBoundAgreement: enabling LP bounding must not change optimality.
+func TestLPBoundAgreement(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 57))
+		n := rng.IntN(4) + 2
+		m1, m2 := NewModel(), NewModel()
+		var v1, v2 []VarID
+		for i := 0; i < n; i++ {
+			v1 = append(v1, m1.NewInt("v", 0, 3))
+			v2 = append(v2, m2.NewInt("v", 0, 3))
+		}
+		nc := rng.IntN(4) + 1
+		for i := 0; i < nc; i++ {
+			e1, e2 := Lin(), Lin()
+			for j := 0; j < n; j++ {
+				c := int64(rng.IntN(5) - 2)
+				e1 = e1.Add(v1[j], c)
+				e2 = e2.Add(v2[j], c)
+			}
+			rhs := int64(rng.IntN(9) - 1)
+			m1.AddLe(e1, rhs)
+			m2.AddLe(e2, rhs)
+		}
+		o1, o2 := Lin(), Lin()
+		for j := 0; j < n; j++ {
+			c := int64(rng.IntN(7) - 3)
+			o1 = o1.Add(v1[j], c)
+			o2 = o2.Add(v2[j], c)
+		}
+		m1.Minimize(o1)
+		m2.Minimize(o2)
+		s1, err1 := m1.Solve(Options{})
+		s2, err2 := m2.Solve(Options{UseLPBound: true, LPBoundEvery: 1})
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return s1.Objective == s2.Objective
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyDomainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m := NewModel()
+	m.NewInt("x", 3, 2)
+}
+
+func TestFirstSolutionStopsEarly(t *testing.T) {
+	m := NewModel()
+	x := m.NewInt("x", 0, 1000)
+	m.Minimize(negateForTest(VarExpr(x))) // maximize x
+	m.AddLe(VarExpr(x), 900)
+	s, err := m.Solve(Options{FirstSolution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.Optimal {
+		t.Error("first-solution mode must not claim optimality")
+	}
+}
+
+func negateForTest(e LinExpr) LinExpr {
+	out := LinExpr{Const: -e.Const}
+	for _, t := range e.Terms {
+		out.Terms = append(out.Terms, Term{t.Var, -t.Coeff})
+	}
+	return out
+}
+
+func TestFirstFailHeuristicAgrees(t *testing.T) {
+	// First-fail must not change feasibility or optimality, only the
+	// search order.
+	m1, m2 := NewModel(), NewModel()
+	var v1, v2 []VarID
+	for i := 0; i < 6; i++ {
+		v1 = append(v1, m1.NewInt("v", 0, 3))
+		v2 = append(v2, m2.NewInt("v", 0, 3))
+	}
+	for i := 0; i+1 < 6; i++ {
+		m1.AddLe(Lin().Add(v1[i], 1).Add(v1[i+1], 2), 4)
+		m2.AddLe(Lin().Add(v2[i], 1).Add(v2[i+1], 2), 4)
+	}
+	m1.Minimize(negateForTest(Sum(v1...)))
+	m2.Minimize(negateForTest(Sum(v2...)))
+	s1, err1 := m1.Solve(Options{})
+	s2, err2 := m2.Solve(Options{FirstFail: true})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if s1.Objective != s2.Objective {
+		t.Errorf("objectives differ: %d vs %d", s1.Objective, s2.Objective)
+	}
+}
+
+func TestRestartsSolveAdversarialOrder(t *testing.T) {
+	// A model whose given branch order is pathological: restarts reshuffle
+	// and find the solution quickly anyway.
+	m := NewModel()
+	var vars []VarID
+	for i := 0; i < 30; i++ {
+		vars = append(vars, m.NewInt("v", 0, 8))
+	}
+	// Chain x_{i+1} >= x_i; and x_29 = 8 forces all high... branch order
+	// given ascending values on x_0 first explores 0..8 fruitlessly.
+	for i := 0; i+1 < len(vars); i++ {
+		m.AddGe(VarExpr(vars[i+1]).Add(vars[i], -1), 0)
+	}
+	m.AddEq(VarExpr(vars[len(vars)-1]), 8)
+	m.AddGe(VarExpr(vars[0]), 8) // forces everything to 8
+	s, err := m.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vars {
+		if s.Values[v] != 8 {
+			t.Fatalf("var = %d, want 8", s.Values[v])
+		}
+	}
+}
+
+func TestImpliesNotHelpers(t *testing.T) {
+	// b = 0 ⇒ x ≤ 3; with b forced 0, x must be ≤ 3.
+	m := NewModel()
+	b := m.NewBool("b")
+	x := m.NewInt("x", 0, 10)
+	m.AddImpliesNotLe(b, VarExpr(x), 3)
+	m.AddEq(VarExpr(b), 0)
+	m.Maximize(VarExpr(x))
+	s := solve(t, m, Options{})
+	if s.Values[x] != 3 {
+		t.Errorf("x = %d, want 3", s.Values[x])
+	}
+	// With b = 1 the implication is inactive.
+	m2 := NewModel()
+	b2 := m2.NewBool("b")
+	x2 := m2.NewInt("x", 0, 10)
+	m2.AddImpliesNotLe(b2, VarExpr(x2), 3)
+	m2.AddEq(VarExpr(b2), 1)
+	m2.Maximize(VarExpr(x2))
+	s2 := solve(t, m2, Options{})
+	if s2.Values[x2] != 10 {
+		t.Errorf("x = %d, want 10", s2.Values[x2])
+	}
+	// b = 0 ⇒ x = 7 via AddImpliesNotEq.
+	m3 := NewModel()
+	b3 := m3.NewBool("b")
+	x3 := m3.NewInt("x", 0, 10)
+	m3.AddImpliesNotEq(b3, VarExpr(x3), 7)
+	m3.AddEq(VarExpr(b3), 0)
+	s3 := solve(t, m3, Options{})
+	if s3.Values[x3] != 7 {
+		t.Errorf("x = %d, want 7", s3.Values[x3])
+	}
+}
+
+func TestNegativeBoundsVariables(t *testing.T) {
+	// Variables with negative domains exercise divFloor/divCeil sign
+	// handling in propagation.
+	m := NewModel()
+	x := m.NewInt("x", -10, 10)
+	y := m.NewInt("y", -10, 10)
+	m.AddLe(Lin().Add(x, -3), 7)  // -3x <= 7  ->  x >= -2 (ceil(-7/3))
+	m.AddGe(Lin().Add(y, -2), -6) // -2y >= -6 ->  y <= 3
+	m.Minimize(Sum(x, y))
+	s := solve(t, m, Options{})
+	if s.Values[x] != -2 {
+		t.Errorf("x = %d, want -2", s.Values[x])
+	}
+	if s.Values[y] != -10 {
+		t.Errorf("y = %d, want -10", s.Values[y])
+	}
+}
+
+func TestSolutionStatsPopulated(t *testing.T) {
+	m := NewModel()
+	x := m.NewInt("x", 0, 3)
+	m.AddGe(VarExpr(x), 1)
+	s := solve(t, m, Options{})
+	if s.Stats.Nodes == 0 || s.Stats.Propagations == 0 {
+		t.Errorf("stats empty: %+v", s.Stats)
+	}
+	if m.Name(x) != "x" {
+		t.Errorf("Name = %q", m.Name(x))
+	}
+	if lo, hi := m.Bounds(x); lo != 0 || hi != 3 {
+		t.Errorf("Bounds = %d, %d", lo, hi)
+	}
+	if m.NumVars() != 1 || m.NumConstraints() == 0 {
+		t.Errorf("counts: vars=%d cons=%d", m.NumVars(), m.NumConstraints())
+	}
+}

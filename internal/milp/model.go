@@ -1,0 +1,373 @@
+// Package milp is an exact integer linear program solver: a model builder
+// with big-M linearization helpers (implication, reification, boolean
+// logic) and a branch-and-bound search with bounds-consistency propagation
+// over linear constraints, optionally strengthened by LP-relaxation
+// bounding (package lp).
+//
+// It replaces COIN-OR CBC used by the paper: the scheduler's model (§4) is
+// encoded through this package unchanged — the same variables, big-M
+// constraints and objective — only the solving engine differs.
+package milp
+
+import (
+	"fmt"
+)
+
+// VarID identifies a model variable.
+type VarID int
+
+// Term is coeff·var.
+type Term struct {
+	Var   VarID
+	Coeff int64
+}
+
+// LinExpr is Σ terms + Const.
+type LinExpr struct {
+	Terms []Term
+	Const int64
+}
+
+// Lin builds an empty linear expression.
+func Lin() LinExpr { return LinExpr{} }
+
+// Add returns e + coeff·v.
+func (e LinExpr) Add(v VarID, coeff int64) LinExpr {
+	e.Terms = append(e.Terms[:len(e.Terms):len(e.Terms)], Term{v, coeff})
+	return e
+}
+
+// Plus returns e + c.
+func (e LinExpr) Plus(c int64) LinExpr {
+	e.Const += c
+	return e
+}
+
+// VarExpr returns the expression 1·v.
+func VarExpr(v VarID) LinExpr { return Lin().Add(v, 1) }
+
+// Sum returns Σ 1·v over vs.
+func Sum(vs ...VarID) LinExpr {
+	e := Lin()
+	for _, v := range vs {
+		e = e.Add(v, 1)
+	}
+	return e
+}
+
+// Op is a constraint operator.
+type Op int
+
+// Constraint operators.
+const (
+	OpLe Op = iota
+	OpGe
+	OpEq
+)
+
+// constraint is the normalized internal form Σ terms ≤ rhs.
+type constraint struct {
+	terms []Term
+	rhs   int64
+}
+
+// Model is a mixed-integer linear model. Build it with NewInt/NewBool and
+// the Add* helpers, then call Solve.
+type Model struct {
+	lo, hi  []int64
+	names   []string
+	cons    []constraint
+	varCons [][]int32 // var -> constraint indices containing it
+	obj     LinExpr
+	hasObj  bool
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// NewInt declares an integer variable with inclusive bounds [lo, hi].
+func (m *Model) NewInt(name string, lo, hi int64) VarID {
+	if lo > hi {
+		panic(fmt.Sprintf("milp: variable %s has empty domain [%d,%d]", name, lo, hi))
+	}
+	id := VarID(len(m.lo))
+	m.lo = append(m.lo, lo)
+	m.hi = append(m.hi, hi)
+	m.names = append(m.names, name)
+	m.varCons = append(m.varCons, nil)
+	return id
+}
+
+// NewBool declares a 0/1 variable.
+func (m *Model) NewBool(name string) VarID { return m.NewInt(name, 0, 1) }
+
+// NumVars returns the number of declared variables.
+func (m *Model) NumVars() int { return len(m.lo) }
+
+// NumConstraints returns the number of normalized ≤ rows.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// Name returns the variable's name.
+func (m *Model) Name(v VarID) string { return m.names[v] }
+
+// Bounds returns the declared bounds of v.
+func (m *Model) Bounds(v VarID) (lo, hi int64) { return m.lo[v], m.hi[v] }
+
+// Add posts the constraint e (op) rhs.
+func (m *Model) Add(e LinExpr, op Op, rhs int64) {
+	switch op {
+	case OpLe:
+		m.addLe(e.Terms, rhs-e.Const)
+	case OpGe:
+		neg := make([]Term, len(e.Terms))
+		for i, t := range e.Terms {
+			neg[i] = Term{t.Var, -t.Coeff}
+		}
+		m.addLe(neg, e.Const-rhs)
+	case OpEq:
+		m.Add(e, OpLe, rhs)
+		m.Add(e, OpGe, rhs)
+	}
+}
+
+// AddLe posts e ≤ rhs.
+func (m *Model) AddLe(e LinExpr, rhs int64) { m.Add(e, OpLe, rhs) }
+
+// AddGe posts e ≥ rhs.
+func (m *Model) AddGe(e LinExpr, rhs int64) { m.Add(e, OpGe, rhs) }
+
+// AddEq posts e = rhs.
+func (m *Model) AddEq(e LinExpr, rhs int64) { m.Add(e, OpEq, rhs) }
+
+func (m *Model) addLe(terms []Term, rhs int64) {
+	// Merge duplicate variables and drop zero coefficients.
+	merged := make(map[VarID]int64)
+	for _, t := range terms {
+		merged[t.Var] += t.Coeff
+	}
+	norm := make([]Term, 0, len(merged))
+	for _, t := range terms { // preserve first-occurrence order
+		c, ok := merged[t.Var]
+		if !ok {
+			continue
+		}
+		delete(merged, t.Var)
+		if c != 0 {
+			norm = append(norm, Term{t.Var, c})
+		}
+	}
+	if len(norm) == 0 {
+		if rhs < 0 {
+			// Trivially infeasible: encode as 0 ≤ -1 via an impossible
+			// constraint on a dummy basis — simplest is to remember it.
+			m.cons = append(m.cons, constraint{nil, rhs})
+		}
+		return
+	}
+	idx := int32(len(m.cons))
+	m.cons = append(m.cons, constraint{norm, rhs})
+	for _, t := range norm {
+		m.varCons[t.Var] = append(m.varCons[t.Var], idx)
+	}
+}
+
+// exprMax returns the maximum value of e under the declared bounds.
+func (m *Model) exprMax(e LinExpr) int64 {
+	v := e.Const
+	for _, t := range e.Terms {
+		if t.Coeff > 0 {
+			v += t.Coeff * m.hi[t.Var]
+		} else {
+			v += t.Coeff * m.lo[t.Var]
+		}
+	}
+	return v
+}
+
+// exprMin returns the minimum value of e under the declared bounds.
+func (m *Model) exprMin(e LinExpr) int64 {
+	v := e.Const
+	for _, t := range e.Terms {
+		if t.Coeff > 0 {
+			v += t.Coeff * m.lo[t.Var]
+		} else {
+			v += t.Coeff * m.hi[t.Var]
+		}
+	}
+	return v
+}
+
+// AddImpliesLe posts b = 1 ⇒ e ≤ rhs using an automatically tightened
+// big-M derived from variable bounds.
+func (m *Model) AddImpliesLe(b VarID, e LinExpr, rhs int64) {
+	bigM := m.exprMax(e) - rhs
+	if bigM <= 0 {
+		return // already always true
+	}
+	// e + M·b ≤ rhs + M.
+	m.AddLe(e.Add(b, bigM), rhs+bigM)
+}
+
+// AddImpliesGe posts b = 1 ⇒ e ≥ rhs.
+func (m *Model) AddImpliesGe(b VarID, e LinExpr, rhs int64) {
+	bigM := rhs - m.exprMin(e)
+	if bigM <= 0 {
+		return
+	}
+	// e - M·b ≥ rhs - M.
+	m.AddGe(e.Add(b, -bigM), rhs-bigM)
+}
+
+// AddImpliesNotLe posts b = 0 ⇒ e ≤ rhs.
+func (m *Model) AddImpliesNotLe(b VarID, e LinExpr, rhs int64) {
+	bigM := m.exprMax(e) - rhs
+	if bigM <= 0 {
+		return
+	}
+	// e - M·b ≤ rhs
+	m.AddLe(e.Add(b, -bigM), rhs)
+}
+
+// AddImpliesNotGe posts b = 0 ⇒ e ≥ rhs.
+func (m *Model) AddImpliesNotGe(b VarID, e LinExpr, rhs int64) {
+	bigM := rhs - m.exprMin(e)
+	if bigM <= 0 {
+		return
+	}
+	// e + M·b ≥ rhs
+	m.AddGe(e.Add(b, bigM), rhs)
+}
+
+// AddImpliesNotEq posts b = 0 ⇒ e = rhs.
+func (m *Model) AddImpliesNotEq(b VarID, e LinExpr, rhs int64) {
+	m.AddImpliesNotLe(b, e, rhs)
+	m.AddImpliesNotGe(b, e, rhs)
+}
+
+// AddImpliesEq posts b = 1 ⇒ e = rhs.
+func (m *Model) AddImpliesEq(b VarID, e LinExpr, rhs int64) {
+	m.AddImpliesLe(b, e, rhs)
+	m.AddImpliesGe(b, e, rhs)
+}
+
+// ReifyLe creates a fresh boolean b with b = 1 ⇔ e ≤ rhs.
+func (m *Model) ReifyLe(name string, e LinExpr, rhs int64) VarID {
+	b := m.NewBool(name)
+	m.AddImpliesLe(b, e, rhs) // b ⇒ e ≤ rhs
+	// ¬b ⇒ e ≥ rhs+1: e ≥ rhs+1 - M·b.
+	bigM := rhs + 1 - m.exprMin(e)
+	if bigM > 0 {
+		m.AddGe(e.Add(b, bigM), rhs+1)
+	} else {
+		// e ≥ rhs+1 always: b is forced... e ≤ rhs never holds.
+		m.AddEq(VarExpr(b), 0)
+	}
+	return b
+}
+
+// ReifyEq creates a fresh boolean b with b = 1 ⇔ e = rhs.
+func (m *Model) ReifyEq(name string, e LinExpr, rhs int64) VarID {
+	le := m.ReifyLe(name+"/le", e, rhs)
+	ge := m.ReifyLe(name+"/ge", negate(e), -rhs)
+	b := m.NewBool(name)
+	m.AddBoolAnd(b, le, ge)
+	return b
+}
+
+func negate(e LinExpr) LinExpr {
+	out := LinExpr{Const: -e.Const, Terms: make([]Term, len(e.Terms))}
+	for i, t := range e.Terms {
+		out.Terms[i] = Term{t.Var, -t.Coeff}
+	}
+	return out
+}
+
+// AtLeastOne posts Σ bs ≥ 1.
+func (m *Model) AtLeastOne(bs ...VarID) { m.AddGe(Sum(bs...), 1) }
+
+// ExactlyOne posts Σ bs = 1.
+func (m *Model) ExactlyOne(bs ...VarID) { m.AddEq(Sum(bs...), 1) }
+
+// AddBoolOr posts target = OR(bs).
+func (m *Model) AddBoolOr(target VarID, bs ...VarID) {
+	for _, b := range bs {
+		// b ≤ target
+		m.AddLe(VarExpr(b).Add(target, -1), 0)
+	}
+	// target ≤ Σ bs
+	e := VarExpr(target)
+	for _, b := range bs {
+		e = e.Add(b, -1)
+	}
+	m.AddLe(e, 0)
+}
+
+// AddBoolAnd posts target = AND(bs).
+func (m *Model) AddBoolAnd(target VarID, bs ...VarID) {
+	for _, b := range bs {
+		// target ≤ b
+		m.AddLe(VarExpr(target).Add(b, -1), 0)
+	}
+	// target ≥ Σ bs - (n-1)
+	e := VarExpr(target)
+	for _, b := range bs {
+		e = e.Add(b, -1)
+	}
+	m.AddGe(e, 1-int64(len(bs)))
+}
+
+// AddBoolNot posts target = ¬b.
+func (m *Model) AddBoolNot(target, b VarID) {
+	m.AddEq(VarExpr(target).Add(b, 1), 1)
+}
+
+// Minimize sets the objective to minimize e.
+func (m *Model) Minimize(e LinExpr) {
+	m.obj = e
+	m.hasObj = true
+}
+
+// Maximize sets the objective to maximize e.
+func (m *Model) Maximize(e LinExpr) {
+	m.Minimize(negate(e))
+}
+
+// HasObjective reports whether an objective was set.
+func (m *Model) HasObjective() bool { return m.hasObj }
+
+// Eval computes the value of e under an assignment.
+func Eval(e LinExpr, values []int64) int64 {
+	v := e.Const
+	for _, t := range e.Terms {
+		v += t.Coeff * values[t.Var]
+	}
+	return v
+}
+
+// Check verifies an assignment against every constraint, returning the
+// first violated row description, or "" if feasible. Intended for tests.
+func (m *Model) Check(values []int64) string {
+	for i, v := range values {
+		if v < m.lo[i] || v > m.hi[i] {
+			return fmt.Sprintf("var %s=%d outside [%d,%d]", m.names[i], v, m.lo[i], m.hi[i])
+		}
+	}
+	for ci, c := range m.cons {
+		s := int64(0)
+		for _, t := range c.terms {
+			s += t.Coeff * values[t.Var]
+		}
+		if s > c.rhs {
+			return fmt.Sprintf("constraint %d: %d > %d", ci, s, c.rhs)
+		}
+	}
+	return ""
+}
+
+// objRange returns the min/max of the objective under declared bounds.
+func (m *Model) objRange() (int64, int64) {
+	if !m.hasObj {
+		return 0, 0
+	}
+	return m.exprMin(m.obj), m.exprMax(m.obj)
+}

@@ -1,0 +1,564 @@
+package milp
+
+import (
+	"errors"
+	"math/rand/v2"
+	"time"
+
+	"chameleon/internal/lp"
+)
+
+// Errors returned by Solve.
+var (
+	// ErrInfeasible means the model admits no integer solution.
+	ErrInfeasible = errors.New("milp: infeasible")
+	// ErrTimeout means the limits were hit before any solution was found.
+	ErrTimeout = errors.New("milp: time or node limit exceeded")
+)
+
+// Options tune the branch-and-bound search.
+type Options struct {
+	// TimeLimit bounds wall-clock search time (0: unlimited).
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of search nodes (0: unlimited).
+	MaxNodes int64
+	// BranchOrder lists variables to branch on first, in order. Remaining
+	// variables follow in declaration order.
+	BranchOrder []VarID
+	// UseLPBound enables LP-relaxation bounding at the root and every
+	// LPBoundEvery nodes (ablation: §7.1 solver engine).
+	UseLPBound bool
+	// LPBoundEvery is the node interval between LP bounding calls
+	// (default 512 when UseLPBound).
+	LPBoundEvery int64
+	// FirstSolution stops at the first feasible solution even when an
+	// objective is set (used by the round-minimization outer loop, which
+	// only needs feasibility at each R).
+	FirstSolution bool
+	// ImprovementTimeLimit bounds, in SolveIterative, the improvement
+	// loop after the first feasible solution (0: use TimeLimit).
+	ImprovementTimeLimit time.Duration
+	// NoRestarts disables randomized geometric restarts. Restarts (on by
+	// default) bound each search attempt by a doubling node budget and
+	// reshuffle the branch order between attempts, taming the
+	// heavy-tailed runtime of chronological backtracking.
+	NoRestarts bool
+	// RestartBaseNodes is the first attempt's node budget (default 4096).
+	RestartBaseNodes int64
+	// FirstFail branches on the unfixed variable with the smallest
+	// current domain (ties broken by branch order) instead of strictly
+	// following the branch order.
+	FirstFail bool
+	// PreferHigh lists variables whose values are enumerated descending
+	// (try the upper bound first); all others ascend.
+	PreferHigh []VarID
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Nodes        int64
+	Propagations int64
+	Duration     time.Duration
+	LPBounds     int64
+	Optimal      bool
+}
+
+// Solution is a feasible (and, unless interrupted, optimal) assignment.
+type Solution struct {
+	Values    []int64
+	Objective int64
+	Stats     Stats
+}
+
+type change struct {
+	v            VarID
+	oldLo, oldHi int64
+}
+
+type searcher struct {
+	m     *Model
+	lo    []int64
+	hi    []int64
+	trail []change
+	queue []int32
+	inQ   []bool
+
+	order      []VarID
+	preferHigh []bool
+
+	incumbent    []int64
+	incumbentObj int64
+	haveInc      bool
+
+	deadline time.Time
+	hasDL    bool
+	opts     Options
+	stats    Stats
+	start    time.Time
+}
+
+// Solve runs branch and bound. With an objective it returns the best
+// solution found (Stats.Optimal reports whether the search completed);
+// without one it returns the first feasible assignment. Unless NoRestarts
+// is set, the search uses randomized geometric restarts: attempt k gets a
+// node budget of RestartBaseNodes·2^k, and from the second attempt on the
+// branch order is reshuffled deterministically.
+func (m *Model) Solve(opts Options) (*Solution, error) {
+	if !opts.NoRestarts && opts.MaxNodes == 0 {
+		return m.solveWithRestarts(opts)
+	}
+	return m.solveOnce(opts)
+}
+
+func (m *Model) solveWithRestarts(opts Options) (*Solution, error) {
+	budget := opts.RestartBaseNodes
+	if budget == 0 {
+		budget = 4096
+	}
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+	order := append([]VarID(nil), opts.BranchOrder...)
+	rng := rand.New(rand.NewPCG(0x9e3779b97f4a7c15, uint64(len(m.cons))))
+	for attempt := 0; ; attempt++ {
+		inner := opts
+		inner.NoRestarts = true
+		inner.MaxNodes = budget
+		if opts.TimeLimit > 0 {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return nil, ErrTimeout
+			}
+			inner.TimeLimit = remaining
+		}
+		if attempt > 0 {
+			// Diversify: reshuffle the branch order deterministically and
+			// alternate the value-ordering preference, so successive
+			// attempts explore genuinely different parts of the tree.
+			shuffled := append([]VarID(nil), order...)
+			rng.Shuffle(len(shuffled), func(i, j int) {
+				shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+			})
+			inner.BranchOrder = shuffled
+			if attempt%2 == 1 {
+				inner.PreferHigh = nil
+			}
+		}
+		sol, err := m.solveOnce(inner)
+		if err == nil || errors.Is(err, ErrInfeasible) {
+			return sol, err
+		}
+		if opts.TimeLimit > 0 && time.Now().After(deadline) {
+			return nil, ErrTimeout
+		}
+		budget *= 2
+	}
+}
+
+func (m *Model) solveOnce(opts Options) (*Solution, error) {
+	s := &searcher{
+		m:     m,
+		lo:    append([]int64(nil), m.lo...),
+		hi:    append([]int64(nil), m.hi...),
+		inQ:   make([]bool, len(m.cons)),
+		opts:  opts,
+		start: time.Now(),
+	}
+	if opts.TimeLimit > 0 {
+		s.deadline = s.start.Add(opts.TimeLimit)
+		s.hasDL = true
+	}
+	if opts.UseLPBound && opts.LPBoundEvery == 0 {
+		s.opts.LPBoundEvery = 512
+	}
+	s.preferHigh = make([]bool, len(m.lo))
+	for _, v := range opts.PreferHigh {
+		s.preferHigh[v] = true
+	}
+	// Branch order: explicit list first, then remaining variables.
+	seen := make([]bool, len(m.lo))
+	for _, v := range opts.BranchOrder {
+		if !seen[v] {
+			s.order = append(s.order, v)
+			seen[v] = true
+		}
+	}
+	for v := range m.lo {
+		if !seen[v] {
+			s.order = append(s.order, VarID(v))
+		}
+	}
+	// Constant infeasible rows (posted by addLe with empty terms).
+	for _, c := range m.cons {
+		if len(c.terms) == 0 && c.rhs < 0 {
+			return nil, ErrInfeasible
+		}
+	}
+	// Root propagation.
+	for i := range m.cons {
+		s.enqueue(int32(i))
+	}
+	if !s.propagate() {
+		return nil, ErrInfeasible
+	}
+	err := s.search(0)
+	s.stats.Duration = time.Since(s.start)
+	if s.haveInc {
+		// Without an objective any feasible assignment is final; with one,
+		// optimality holds only if the search ran to exhaustion.
+		s.stats.Optimal = err == nil || !m.hasObj
+		return &Solution{Values: s.incumbent, Objective: s.incumbentObj, Stats: s.stats}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return nil, ErrInfeasible
+}
+
+// SolveIterative minimizes the objective by repeated feasibility solves
+// with a tightening cutoff (obj ≤ best−1), which prunes far better than
+// plain bound-based branch and bound when the objective is a sum of many
+// indicator variables (the scheduler's temp-session count). The model is
+// mutated: cutoff rows accumulate. Stats are aggregated across iterations.
+func (m *Model) SolveIterative(opts Options) (*Solution, error) {
+	if !m.hasObj {
+		return m.Solve(opts)
+	}
+	inner := opts
+	inner.FirstSolution = true
+	best, err := m.Solve(inner)
+	if err != nil {
+		return nil, err
+	}
+	improvement := opts.ImprovementTimeLimit
+	if improvement == 0 {
+		improvement = opts.TimeLimit
+	}
+	var deadline time.Time
+	if improvement > 0 {
+		deadline = time.Now().Add(improvement)
+	}
+	budget := func() bool {
+		if improvement == 0 {
+			return true
+		}
+		remaining := time.Until(deadline)
+		inner.TimeLimit = remaining
+		return remaining > 0
+	}
+	agg := best.Stats
+	for {
+		if !budget() {
+			best.Stats = agg
+			best.Stats.Optimal = false
+			return best, nil
+		}
+		m.AddLe(m.obj, best.Objective-1)
+		sol, err := m.Solve(inner)
+		if err != nil {
+			best.Stats = agg
+			best.Stats.Optimal = errors.Is(err, ErrInfeasible)
+			return best, nil
+		}
+		agg.Nodes += sol.Stats.Nodes
+		agg.Propagations += sol.Stats.Propagations
+		agg.LPBounds += sol.Stats.LPBounds
+		agg.Duration += sol.Stats.Duration
+		best = sol
+	}
+}
+
+var errLimit = errors.New("milp: limit")
+
+func (s *searcher) limitExceeded() bool {
+	if s.opts.MaxNodes > 0 && s.stats.Nodes >= s.opts.MaxNodes {
+		return true
+	}
+	// Check the clock sparsely; time.Now is comparatively expensive.
+	if s.hasDL && s.stats.Nodes%256 == 0 && time.Now().After(s.deadline) {
+		return true
+	}
+	return false
+}
+
+func (s *searcher) enqueue(ci int32) {
+	if !s.inQ[ci] {
+		s.inQ[ci] = true
+		s.queue = append(s.queue, ci)
+	}
+}
+
+func (s *searcher) setLo(v VarID, nv int64) bool {
+	if nv <= s.lo[v] {
+		return true
+	}
+	if nv > s.hi[v] {
+		return false
+	}
+	s.trail = append(s.trail, change{v, s.lo[v], s.hi[v]})
+	s.lo[v] = nv
+	for _, ci := range s.m.varCons[v] {
+		s.enqueue(ci)
+	}
+	return true
+}
+
+func (s *searcher) setHi(v VarID, nv int64) bool {
+	if nv >= s.hi[v] {
+		return true
+	}
+	if nv < s.lo[v] {
+		return false
+	}
+	s.trail = append(s.trail, change{v, s.lo[v], s.hi[v]})
+	s.hi[v] = nv
+	for _, ci := range s.m.varCons[v] {
+		s.enqueue(ci)
+	}
+	return true
+}
+
+func (s *searcher) undoTo(mark int) {
+	for len(s.trail) > mark {
+		c := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.lo[c.v] = c.oldLo
+		s.hi[c.v] = c.oldHi
+	}
+}
+
+// divFloor computes floor(p/q) for q > 0.
+func divFloor(p, q int64) int64 {
+	d := p / q
+	if p%q != 0 && (p < 0) != (q < 0) {
+		d--
+	}
+	return d
+}
+
+// divCeil computes ceil(p/q).
+func divCeil(p, q int64) int64 {
+	d := p / q
+	if p%q != 0 && (p < 0) == (q < 0) {
+		d++
+	}
+	return d
+}
+
+// propagate runs bounds-consistency to fixpoint; false means conflict.
+func (s *searcher) propagate() bool {
+	for len(s.queue) > 0 {
+		ci := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
+		s.inQ[ci] = false
+		s.stats.Propagations++
+		c := &s.m.cons[ci]
+		// minSum = Σ min(a_i·x_i).
+		var minSum int64
+		for _, t := range c.terms {
+			if t.Coeff > 0 {
+				minSum += t.Coeff * s.lo[t.Var]
+			} else {
+				minSum += t.Coeff * s.hi[t.Var]
+			}
+		}
+		if minSum > c.rhs {
+			s.clearQueue()
+			return false
+		}
+		for _, t := range c.terms {
+			var tMin int64
+			if t.Coeff > 0 {
+				tMin = t.Coeff * s.lo[t.Var]
+			} else {
+				tMin = t.Coeff * s.hi[t.Var]
+			}
+			slack := c.rhs - (minSum - tMin)
+			if t.Coeff > 0 {
+				// x ≤ floor(slack / coeff)
+				if ub := divFloor(slack, t.Coeff); ub < s.hi[t.Var] {
+					if !s.setHi(t.Var, ub) {
+						s.clearQueue()
+						return false
+					}
+				}
+			} else {
+				// coeff < 0: x ≥ ceil(slack / coeff)
+				if lb := divCeil(slack, t.Coeff); lb > s.lo[t.Var] {
+					if !s.setLo(t.Var, lb) {
+						s.clearQueue()
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (s *searcher) clearQueue() {
+	for _, ci := range s.queue {
+		s.inQ[ci] = false
+	}
+	s.queue = s.queue[:0]
+}
+
+// objLowerBound computes Σ min(c_i·x_i) under current domains.
+func (s *searcher) objLowerBound() int64 {
+	v := s.m.obj.Const
+	for _, t := range s.m.obj.Terms {
+		if t.Coeff > 0 {
+			v += t.Coeff * s.lo[t.Var]
+		} else {
+			v += t.Coeff * s.hi[t.Var]
+		}
+	}
+	return v
+}
+
+// lpBound solves the LP relaxation under current domains; returns false if
+// the node can be pruned.
+func (s *searcher) lpBound() bool {
+	s.stats.LPBounds++
+	n := len(s.lo)
+	p := lp.NewProblem(n)
+	if s.m.hasObj {
+		for _, t := range s.m.obj.Terms {
+			p.SetObjective(int(t.Var), float64(t.Coeff))
+		}
+	}
+	for _, c := range s.m.cons {
+		row := make([]float64, n)
+		for _, t := range c.terms {
+			row[int(t.Var)] += float64(t.Coeff)
+		}
+		p.AddLe(row, float64(c.rhs))
+	}
+	// Domain bounds as rows (shifted formulation avoided for simplicity:
+	// x ≥ lo becomes -x ≤ -lo).
+	for v := 0; v < n; v++ {
+		row := make([]float64, n)
+		row[v] = 1
+		p.AddLe(row, float64(s.hi[v]))
+		if s.lo[v] > 0 {
+			neg := make([]float64, n)
+			neg[v] = -1
+			p.AddLe(neg, -float64(s.lo[v]))
+		}
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return !errors.Is(err, lp.ErrInfeasible)
+	}
+	if s.m.hasObj && s.haveInc {
+		// Integral objective: ceil the LP bound.
+		lb := int64(sol.Objective + float64(s.m.obj.Const) - 1e-6)
+		if float64(lb) < sol.Objective+float64(s.m.obj.Const)-1e-6 {
+			lb++
+		}
+		if lb >= s.incumbentObj {
+			return false
+		}
+	}
+	return true
+}
+
+// search performs DFS; returns nil when the subtree is exhausted, errLimit
+// on limits.
+func (s *searcher) search(depth int) error {
+	s.stats.Nodes++
+	if s.limitExceeded() {
+		return errLimit
+	}
+	if s.m.hasObj && s.haveInc {
+		if s.objLowerBound() >= s.incumbentObj {
+			return nil // cannot improve
+		}
+	}
+	if s.opts.UseLPBound && (s.stats.Nodes == 1 || s.stats.Nodes%s.opts.LPBoundEvery == 0) {
+		if !s.lpBound() {
+			return nil
+		}
+	}
+	// Pick the next variable: first unfixed in branch order, or — under
+	// first-fail — the unfixed variable with the smallest domain.
+	var pick VarID = -1
+	if s.opts.FirstFail {
+		best := int64(1) << 62
+		for _, v := range s.order {
+			d := s.hi[v] - s.lo[v]
+			if d == 0 {
+				continue
+			}
+			if d < best {
+				best = d
+				pick = v
+				if d == 1 {
+					break
+				}
+			}
+		}
+	} else {
+		for _, v := range s.order {
+			if s.lo[v] != s.hi[v] {
+				pick = v
+				break
+			}
+		}
+	}
+	if pick == -1 {
+		// All fixed: record solution.
+		vals := append([]int64(nil), s.lo...)
+		obj := int64(0)
+		if s.m.hasObj {
+			obj = Eval(s.m.obj, vals)
+		}
+		if !s.haveInc || obj < s.incumbentObj {
+			s.incumbent = vals
+			s.incumbentObj = obj
+			s.haveInc = true
+		}
+		if !s.m.hasObj || s.opts.FirstSolution {
+			return errLimit // stop the whole search: feasibility is enough
+		}
+		return nil
+	}
+	// Binary split: left branch fixes the preferred bound (lower bound by
+	// default, upper bound for PreferHigh variables), right branch
+	// excludes it; re-picking the still-unfixed variable keeps the
+	// enumeration complete.
+	var fixLeft func() bool
+	var shrinkRight func() bool
+	if s.preferHigh[pick] {
+		hi := s.hi[pick]
+		fixLeft = func() bool { return s.setLo(pick, hi) }
+		shrinkRight = func() bool { return s.setHi(pick, hi-1) }
+	} else {
+		lo := s.lo[pick]
+		fixLeft = func() bool { return s.setHi(pick, lo) }
+		shrinkRight = func() bool { return s.setLo(pick, lo+1) }
+	}
+	mark := len(s.trail)
+	if fixLeft() && s.propagate() {
+		if err := s.search(depth + 1); err != nil {
+			s.undoTo(mark)
+			return err
+		}
+	} else {
+		s.clearQueue()
+	}
+	s.undoTo(mark)
+	if s.lo[pick] == s.hi[pick] {
+		return nil // the excluded value was the last one
+	}
+	mark = len(s.trail)
+	var err error
+	if shrinkRight() && s.propagate() {
+		err = s.search(depth + 1)
+	} else {
+		s.clearQueue()
+	}
+	s.undoTo(mark)
+	return err
+}

@@ -1,0 +1,131 @@
+package runtime
+
+import (
+	"fmt"
+
+	"chameleon/internal/plan"
+	"chameleon/internal/sim"
+)
+
+// ExecuteMulti runs a multi-destination reconfiguration (§5): all plans'
+// setup phases first, then the update phases of every destination in
+// parallel — advancing each destination's rounds only up to the point the
+// next original command requires, applying that command, and continuing —
+// and finally all cleanup phases.
+func (e *Executor) ExecuteMulti(mp *plan.MultiPlan) (*Result, error) {
+	if !e.net.Converged() {
+		return nil, fmt.Errorf("runtime: network not converged at start")
+	}
+	res := &Result{Start: e.net.Now()}
+	for _, p := range mp.Plans {
+		e.net.RecordInitialState(p.Prefix)
+	}
+	e.net.ResetMaxTableEntries()
+	for _, ev := range e.opts.ExternalEvents {
+		ev := ev
+		e.net.ScheduleAt(res.Start+ev.After, func(n *sim.Network) { ev.Apply(n) })
+	}
+
+	phase := func(name string, f func() error) error {
+		start := e.net.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("runtime: %s: %w", name, err)
+		}
+		res.Phases = append(res.Phases, PhaseSpan{Name: name, Start: start, End: e.net.Now()})
+		return nil
+	}
+
+	// Setup of every destination.
+	if err := phase("setup", func() error {
+		for _, p := range mp.Plans {
+			if err := e.runSteps(p, p.Setup); err != nil {
+				return err
+			}
+			res.CommandsApplied += len(p.Setup)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Update phases, aligned on the original commands.
+	next := make([]int, len(mp.Plans)) // next round (1-based) to run per plan
+	for i := range next {
+		next[i] = 1
+	}
+	runUntil := func(i, target int) error {
+		p := mp.Plans[i]
+		for ; next[i] <= target && next[i] <= p.R; next[i]++ {
+			name := fmt.Sprintf("d%d round %d", int(p.Prefix), next[i])
+			if err := phase(name, func() error {
+				res.CommandsApplied += len(p.Rounds[next[i]-1])
+				return e.runSteps(p, p.Rounds[next[i]-1])
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, ci := range mp.Order {
+		for i, p := range mp.Plans {
+			if err := runUntil(i, p.OriginalSlots[ci]); err != nil {
+				return nil, err
+			}
+		}
+		cmd := mp.Originals[ci]
+		e.net.ScheduleAfter(e.latency(), func(n *sim.Network) { cmd.Apply(n) })
+		e.net.Run()
+		res.CommandsApplied++
+	}
+	for i, p := range mp.Plans {
+		if err := runUntil(i, p.R); err != nil {
+			return nil, err
+		}
+	}
+
+	// Cleanup of every destination.
+	if err := phase("cleanup", func() error {
+		for _, p := range mp.Plans {
+			if err := e.runSteps(p, p.Cleanup); err != nil {
+				return err
+			}
+			res.CommandsApplied += len(p.Cleanup)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	e.net.Run()
+	res.End = e.net.Now()
+	res.MaxTableEntries = e.net.MaxTableEntries()
+	return res, nil
+}
+
+// ExecuteSplit is the §5 fallback for conflicting command orders: the
+// reconfiguration is split into per-command steps (ordered by the caller,
+// e.g. via snowcap.Synthesize) and each step gets its own full Chameleon
+// pipeline, planned by the supplied planner on the then-current network.
+func (e *Executor) ExecuteSplit(order []int, originals []sim.Command,
+	planNext func(cmd sim.Command) (*plan.Plan, error)) (*Result, error) {
+	res := &Result{Start: e.net.Now()}
+	for _, idx := range order {
+		if idx < 0 || idx >= len(originals) {
+			return nil, fmt.Errorf("runtime: split order index %d out of range", idx)
+		}
+		p, err := planNext(originals[idx])
+		if err != nil {
+			return nil, fmt.Errorf("runtime: planning split step %d: %w", idx, err)
+		}
+		step, err := e.Execute(p)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: executing split step %d: %w", idx, err)
+		}
+		res.Phases = append(res.Phases, step.Phases...)
+		res.CommandsApplied += step.CommandsApplied
+		if step.MaxTableEntries > res.MaxTableEntries {
+			res.MaxTableEntries = step.MaxTableEntries
+		}
+	}
+	res.End = e.net.Now()
+	return res, nil
+}

@@ -1,0 +1,377 @@
+// Package runtime implements Chameleon's runtime controller (§2.2): it
+// applies a compiled reconfiguration plan to the live (simulated) network,
+// checking each step's pre-conditions before pushing its command and
+// advancing to the next round only once every post-condition holds. Router
+// command latency is modeled after the paper's testbed measurements (§7.2:
+// 8–12 s per route-map change on Cisco Nexus 7000).
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"chameleon/internal/plan"
+	"chameleon/internal/sim"
+)
+
+// Options configure plan execution.
+type Options struct {
+	// Seed drives the command-latency draws.
+	Seed uint64
+	// MinCommandLatency and MaxCommandLatency bound the uniform router
+	// command application latency (defaults 8s and 12s, §7.2).
+	MinCommandLatency, MaxCommandLatency time.Duration
+	// ConditionTimeout bounds how long the controller waits for a
+	// condition before declaring the plan stuck (simulated time;
+	// default 120 s).
+	ConditionTimeout time.Duration
+	// ExternalEvents are injected into the network at the given offsets
+	// from execution start (Fig. 11's link failure / new announcement).
+	ExternalEvents []ScheduledEvent
+	// Monitor, when set, is evaluated after every simulated event during
+	// plan execution; returning false reports a harmful external event
+	// (e.g. a best-route withdrawal breaking an invariant, §8).
+	Monitor func(*sim.Network) bool
+	// Reaction selects how the controller responds to a Monitor alarm.
+	Reaction ReactionPolicy
+}
+
+// ReactionPolicy is the §8 response to harmful external events.
+type ReactionPolicy int
+
+const (
+	// ReactIgnore continues the plan: the pinned transient state already
+	// masks most events (the default, Fig. 11 behavior).
+	ReactIgnore ReactionPolicy = iota
+	// ReactCommit immediately applies all remaining original commands and
+	// the cleanup phase, restoring connectivity under the final
+	// configuration as fast as possible (§8 reaction 3).
+	ReactCommit
+	// ReactReplan aborts execution and returns ErrReplanNeeded so the
+	// caller can compute a fresh plan from the current state (§8
+	// reaction 2); call Abort first to release the transient state.
+	ReactReplan
+)
+
+// ErrReplanNeeded signals that a monitored violation occurred under
+// ReactReplan; the caller should Abort the current plan and replan from the
+// network's current state.
+var ErrReplanNeeded = errors.New("runtime: external event detected; replan required")
+
+// errCommit is the internal unwinding signal for ReactCommit.
+var errCommit = errors.New("runtime: committing to the final configuration")
+
+// ScheduledEvent is an external event fired during the reconfiguration.
+type ScheduledEvent struct {
+	After time.Duration
+	Name  string
+	Apply func(*sim.Network)
+}
+
+// DefaultOptions returns the paper-calibrated execution options.
+func DefaultOptions(seed uint64) Options {
+	return Options{
+		Seed:              seed,
+		MinCommandLatency: 8 * time.Second,
+		MaxCommandLatency: 12 * time.Second,
+		ConditionTimeout:  120 * time.Second,
+	}
+}
+
+// PhaseSpan records when a phase of the plan executed (simulated time).
+type PhaseSpan struct {
+	Name       string
+	Start, End time.Duration
+}
+
+// Result reports a finished execution.
+type Result struct {
+	Start, End time.Duration
+	Phases     []PhaseSpan
+	// CommandsApplied counts plan commands (steps + originals).
+	CommandsApplied int
+	// MaxTableEntries is the §7.3 metric observed during execution.
+	MaxTableEntries int
+	// Committed reports that a monitored external event triggered the
+	// ReactCommit policy: the plan was cut short and the final
+	// configuration applied immediately (§8).
+	Committed bool
+}
+
+// Duration returns the total execution time.
+func (r *Result) Duration() time.Duration { return r.End - r.Start }
+
+// Executor applies a plan to a live network.
+type Executor struct {
+	net  *sim.Network
+	opts Options
+	rng  *rand.Rand
+
+	// betweenDone tracks which original-command slots have been applied,
+	// so a ReactCommit cut-over applies exactly the pending ones.
+	betweenDone []bool
+}
+
+// NewExecutor wraps a converged network.
+func NewExecutor(net *sim.Network, opts Options) *Executor {
+	if opts.MinCommandLatency == 0 {
+		opts.MinCommandLatency = 8 * time.Second
+	}
+	if opts.MaxCommandLatency == 0 {
+		opts.MaxCommandLatency = 12 * time.Second
+	}
+	if opts.ConditionTimeout == 0 {
+		opts.ConditionTimeout = 120 * time.Second
+	}
+	return &Executor{
+		net:  net,
+		opts: opts,
+		rng:  rand.New(rand.NewPCG(opts.Seed, opts.Seed^0xe7037ed1a0b428db)),
+	}
+}
+
+func (e *Executor) latency() time.Duration {
+	span := e.opts.MaxCommandLatency - e.opts.MinCommandLatency
+	if span <= 0 {
+		return e.opts.MinCommandLatency
+	}
+	return e.opts.MinCommandLatency + time.Duration(e.rng.Int64N(int64(span)))
+}
+
+// Execute runs the plan to completion. The network must be converged; on
+// return it is converged in the final configuration. Forwarding traces
+// accumulate in the network's trace recorder for later verification.
+func (e *Executor) Execute(p *plan.Plan) (*Result, error) {
+	if !e.net.Converged() {
+		return nil, fmt.Errorf("runtime: network not converged at start")
+	}
+	res := &Result{Start: e.net.Now()}
+	e.net.RecordInitialState(p.Prefix)
+	e.net.ResetMaxTableEntries()
+	e.betweenDone = make([]bool, len(p.Between))
+
+	// Schedule external events relative to the start.
+	for _, ev := range e.opts.ExternalEvents {
+		ev := ev
+		e.net.ScheduleAt(res.Start+ev.After, func(n *sim.Network) { ev.Apply(n) })
+	}
+
+	runPhase := func(name string, steps []plan.Step) error {
+		start := e.net.Now()
+		if err := e.runSteps(p, steps); err != nil {
+			return fmt.Errorf("runtime: %s: %w", name, err)
+		}
+		res.CommandsApplied += len(steps)
+		res.Phases = append(res.Phases, PhaseSpan{Name: name, Start: start, End: e.net.Now()})
+		return nil
+	}
+
+	run := func() error {
+		if err := runPhase("setup", p.Setup); err != nil {
+			return err
+		}
+		for k := 1; k <= p.R; k++ {
+			if len(p.Between) > k-1 {
+				if err := e.applyOriginalSlot(p, k-1, res); err != nil {
+					return err
+				}
+			}
+			if err := runPhase(fmt.Sprintf("round %d", k), p.Rounds[k-1]); err != nil {
+				return err
+			}
+		}
+		if len(p.Between) > p.R {
+			if err := e.applyOriginalSlot(p, p.R, res); err != nil {
+				return err
+			}
+		}
+		return runPhase("cleanup", p.Cleanup)
+	}
+	if err := run(); err != nil {
+		if errors.Is(err, errCommit) {
+			// §8 reaction 3: abandon the remaining rounds, apply every
+			// pending original command and the cleanup phase at once.
+			e.commit(p, res)
+			res.Committed = true
+		} else {
+			return nil, err
+		}
+	}
+	// Let any remaining convergence settle.
+	e.net.Run()
+	res.End = e.net.Now()
+	res.MaxTableEntries = e.net.MaxTableEntries()
+	return res, nil
+}
+
+// applyOriginals pushes the original reconfiguration commands and waits for
+// convergence (they synchronize rounds across destinations, §5).
+func (e *Executor) applyOriginals(cmds []sim.Command, res *Result) error {
+	for _, cmd := range cmds {
+		cmd := cmd
+		e.net.ScheduleAfter(e.latency(), func(n *sim.Network) { cmd.Apply(n) })
+		res.CommandsApplied++
+	}
+	e.net.Run()
+	return nil
+}
+
+// applyOriginalSlot applies one Between slot, tracking completion for a
+// possible ReactCommit cut-over.
+func (e *Executor) applyOriginalSlot(p *plan.Plan, slot int, res *Result) error {
+	if err := e.applyOriginals(p.Between[slot], res); err != nil {
+		return err
+	}
+	if slot < len(e.betweenDone) {
+		e.betweenDone[slot] = true
+	}
+	return nil
+}
+
+// commit performs the §8 reaction-3 cut-over: every pending original
+// command and the whole cleanup phase are applied at once.
+func (e *Executor) commit(p *plan.Plan, res *Result) {
+	start := e.net.Now()
+	for k, cmds := range p.Between {
+		if k < len(e.betweenDone) && e.betweenDone[k] {
+			continue
+		}
+		for _, cmd := range cmds {
+			cmd.Apply(e.net)
+			res.CommandsApplied++
+		}
+	}
+	for _, st := range p.Cleanup {
+		st.Command.Apply(e.net)
+		res.CommandsApplied++
+	}
+	e.net.Run()
+	res.Phases = append(res.Phases, PhaseSpan{Name: "commit", Start: start, End: e.net.Now()})
+}
+
+// Abort releases a (possibly partially executed) plan's transient state by
+// applying its cleanup commands immediately and letting the network
+// converge — the prelude to replanning under ReactReplan. In-flight
+// scheduled commands are drained first so none land after the cleanup.
+func (e *Executor) Abort(p *plan.Plan) {
+	e.net.Run()
+	for _, st := range p.Cleanup {
+		st.Command.Apply(e.net)
+	}
+	e.net.Run()
+}
+
+// runSteps executes one phase: every step's command is pushed as soon as
+// its pre-conditions hold (commands within a phase apply concurrently), and
+// the phase completes when every post-condition is satisfied.
+func (e *Executor) runSteps(p *plan.Plan, steps []plan.Step) error {
+	if len(steps) == 0 {
+		e.net.Run()
+		return nil
+	}
+	applied := make([]bool, len(steps))
+	applyTime := make([]time.Duration, len(steps))
+	deadline := e.net.Now() + e.opts.ConditionTimeout
+
+	preOK := func(i int) bool {
+		for _, c := range steps[i].Pre {
+			if !c.Check(e.net, p.Prefix) {
+				return false
+			}
+		}
+		return true
+	}
+	postOK := func(i int) bool {
+		if !applied[i] || e.net.Now() < applyTime[i] {
+			return false
+		}
+		for _, c := range steps[i].Post {
+			if !c.Check(e.net, p.Prefix) {
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		// Push every step whose pre-conditions now hold.
+		progress := false
+		for i := range steps {
+			if applied[i] || !preOK(i) {
+				continue
+			}
+			cmd := steps[i].Command
+			lat := e.latency()
+			applyTime[i] = e.net.Now() + lat
+			e.net.ScheduleAfter(lat, func(n *sim.Network) { cmd.Apply(n) })
+			applied[i] = true
+			progress = true
+		}
+		// Done when all commands applied and all posts hold.
+		done := true
+		for i := range steps {
+			if !applied[i] || !postOK(i) {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		// Advance the network by one event; if nothing is pending and no
+		// new command became applicable, the plan is stuck — under
+		// supervision that is itself the §8 "long-term anomaly" signal
+		// (an external event invalidated a pre- or post-condition).
+		if !e.net.Step() {
+			if !progress {
+				return e.react(e.stuckError(p, steps, applied))
+			}
+			continue
+		}
+		// §8 supervision: react to harmful external events immediately.
+		if e.opts.Monitor != nil && !e.opts.Monitor(e.net) {
+			if err := e.react(nil); err != nil {
+				return err
+			}
+		}
+		if e.net.Now() > deadline {
+			return e.react(e.stuckError(p, steps, applied))
+		}
+	}
+}
+
+// react translates a detected anomaly into the configured reaction: commit
+// or replan when supervised, otherwise the original error (nil fallbackErr
+// means the monitor fired but the policy is ReactIgnore — keep going).
+func (e *Executor) react(fallbackErr error) error {
+	switch e.opts.Reaction {
+	case ReactCommit:
+		return errCommit
+	case ReactReplan:
+		return ErrReplanNeeded
+	}
+	return fallbackErr
+}
+
+func (e *Executor) stuckError(p *plan.Plan, steps []plan.Step, applied []bool) error {
+	for i, st := range steps {
+		if !applied[i] {
+			return fmt.Errorf("pre-conditions never satisfied for %q", st.Command.Description)
+		}
+		for _, c := range st.Post {
+			if !c.Check(e.net, p.Prefix) {
+				return fmt.Errorf("post-condition %q never satisfied for %q", c, st.Command.Description)
+			}
+		}
+	}
+	return fmt.Errorf("stuck without unsatisfied conditions (timeout)")
+}
+
+// EstimateReconfigurationTime computes the paper's T̃ = T̃rm · (2 + R)
+// approximation (§7.2) with T̃rm = 12 s.
+func EstimateReconfigurationTime(rounds int) time.Duration {
+	const tRM = 12 * time.Second
+	return time.Duration(2+rounds) * tRM
+}

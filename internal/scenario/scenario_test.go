@@ -1,0 +1,143 @@
+package scenario_test
+
+import (
+	"testing"
+
+	"chameleon/internal/scenario"
+)
+
+func TestRunningExampleShape(t *testing.T) {
+	s := scenario.RunningExample()
+	if got := len(s.Graph.Internal()); got != 6 {
+		t.Errorf("internal routers = %d, want 6", got)
+	}
+	if got := len(s.Graph.Externals()); got != 2 {
+		t.Errorf("externals = %d, want 2", got)
+	}
+	if len(s.RRs) != 2 {
+		t.Errorf("reflectors = %v, want n2 and n5", s.RRs)
+	}
+	if len(s.Commands) != 1 || s.Commands[0].DeniesOld {
+		t.Errorf("running example command misdescribed: %+v", s.Commands)
+	}
+	if !s.Net.Converged() {
+		t.Error("scenario not converged")
+	}
+}
+
+func TestCaseStudyDeterministicForSeed(t *testing.T) {
+	a, err := scenario.CaseStudy("Sprint", scenario.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenario.CaseStudy("Sprint", scenario.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.E1 != b.E1 || a.E2 != b.E2 || a.E3 != b.E3 {
+		t.Error("egress selection not deterministic")
+	}
+	if !a.Net.ForwardingState(a.Prefix).Equal(b.Net.ForwardingState(b.Prefix)) {
+		t.Error("forwarding state not deterministic")
+	}
+}
+
+func TestCaseStudyDifferentSeedsDiffer(t *testing.T) {
+	a, _ := scenario.CaseStudy("Aarnet", scenario.Config{Seed: 1})
+	b, _ := scenario.CaseStudy("Aarnet", scenario.Config{Seed: 2})
+	if a.E1 == b.E1 && a.E2 == b.E2 && a.E3 == b.E3 && a.RRs[0] == b.RRs[0] {
+		t.Log("seeds 1 and 2 coincide (unlikely but possible); not failing")
+	}
+}
+
+func TestCaseStudyEgressesDistinct(t *testing.T) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.E1 == s.E2 || s.E1 == s.E3 || s.E2 == s.E3 {
+		t.Errorf("egresses not distinct: %d %d %d", s.E1, s.E2, s.E3)
+	}
+	if len(s.Ext) != 3 {
+		t.Errorf("externals = %d", len(s.Ext))
+	}
+}
+
+func TestCaseStudyTooSmall(t *testing.T) {
+	if _, err := scenario.CaseStudy("Arpanet196912", scenario.Config{Seed: 1}); err == nil {
+		t.Fatal("4-node topology should be rejected")
+	}
+}
+
+func TestCaseStudyUnknownTopology(t *testing.T) {
+	if _, err := scenario.CaseStudy("DoesNotExist", scenario.Config{Seed: 1}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestSpareEgressWiring(t *testing.T) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7, SpareEgress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.E4 < 0 || s.Ext4 < 0 {
+		t.Fatal("spare egress not wired")
+	}
+	if _, up := s.Net.HasSession(s.E4, s.Ext4); !up {
+		t.Error("no eBGP session to the spare external peer")
+	}
+	// The spare peer announces nothing initially.
+	for _, n := range s.Graph.Internal() {
+		if best, ok := s.Net.Best(n, s.Prefix); ok && best.Egress == s.E4 && s.E4 != s.E1 {
+			t.Errorf("node %d already uses the silent spare egress", n)
+		}
+	}
+}
+
+func TestRemoveSessionVariant(t *testing.T) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7, RemoveSession: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Commands[0].DeniesOld {
+		t.Error("session removal must be marked DeniesOld")
+	}
+	s.Commands[0].Apply(s.Net)
+	s.Net.Run()
+	for _, n := range s.Graph.Internal() {
+		if best, ok := s.Net.Best(n, s.Prefix); !ok || best.Egress == s.E1 {
+			t.Errorf("node %d still via e1 after session removal", n)
+		}
+	}
+}
+
+func TestFinalNetworkDoesNotMutate(t *testing.T) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Net.ForwardingState(s.Prefix)
+	final := s.FinalNetwork()
+	after := s.Net.ForwardingState(s.Prefix)
+	if !before.Equal(after) {
+		t.Error("FinalNetwork mutated the scenario network")
+	}
+	if final.ForwardingState(s.Prefix).Equal(before) {
+		t.Error("final state should differ from initial")
+	}
+}
+
+func TestAllRoutersPreferE1Initially(t *testing.T) {
+	for _, name := range []string{"Abilene", "Aarnet", "Agis", "Ans"} {
+		s, err := scenario.CaseStudy(name, scenario.Config{Seed: 13})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, n := range s.Graph.Internal() {
+			best, ok := s.Net.Best(n, s.Prefix)
+			if !ok || best.Egress != s.E1 {
+				t.Errorf("%s: node %d initial egress %v, want e1=%d", name, n, best.Egress, s.E1)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"chameleon/internal/analyzer"
+	"chameleon/internal/fwd"
+	"chameleon/internal/topology"
+)
+
+// ConstructiveReachability builds a schedule by the breadth-first traversal
+// of the new forwarding state from App. B (Alg. 1): one node per round, in
+// an order that keeps every intermediate state reachable and loop-free. It
+// proves Theorem 1 constructively — for reachability-only specifications a
+// schedule always exists — and serves as the non-optimized baseline in the
+// ablation benchmarks (it produces |switching| rounds where the ILP packs
+// concurrent updates).
+func ConstructiveReachability(a *analyzer.Analysis) (*NodeSchedule, error) {
+	// Membership: nodes already "updated" (N_k). Unchanged nodes and the
+	// destination are members from the start.
+	updated := make(map[topology.NodeID]bool)
+	pending := make(map[topology.NodeID]bool)
+	for _, n := range a.Switching {
+		if a.ChangesNextHop(n) {
+			pending[n] = true
+		}
+	}
+	for _, n := range a.Graph.Internal() {
+		if !pending[n] {
+			updated[n] = true
+		}
+	}
+	// ready reports whether n's new next hop already forwards correctly.
+	ready := func(n topology.NodeID) bool {
+		nh := a.NHNew[n]
+		if nh == fwd.External {
+			return true
+		}
+		if nh == fwd.Drop || nh == topology.None {
+			return false
+		}
+		return updated[nh]
+	}
+
+	s := &NodeSchedule{
+		Tuples: make(map[topology.NodeID]Tuple),
+		MOld:   make(map[topology.NodeID]topology.NodeID),
+		MNew:   make(map[topology.NodeID]topology.NodeID),
+	}
+	round := 0
+	for len(pending) > 0 {
+		// Deterministic pick: the lowest-ID ready node.
+		var pick topology.NodeID = topology.None
+		var keys []topology.NodeID
+		for n := range pending {
+			keys = append(keys, n)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, n := range keys {
+			if ready(n) {
+				pick = n
+				break
+			}
+		}
+		if pick == topology.None {
+			return nil, fmt.Errorf("scheduler: constructive traversal stuck with %d pending nodes (final state unreachable?)", len(pending))
+		}
+		round++
+		s.Tuples[pick] = Tuple{Old: round, NH: round, New: round}
+		delete(pending, pick)
+		updated[pick] = true
+	}
+	// Switching nodes without a forwarding change update in dedicated
+	// trailing rounds (their order is unconstrained by forwarding).
+	for _, n := range a.Switching {
+		if _, done := s.Tuples[n]; done {
+			continue
+		}
+		round++
+		s.Tuples[n] = Tuple{Old: round, NH: round, New: round}
+	}
+	s.R = round
+	fixAvailability(a, s)
+	chooseProviders(a, s)
+	return s, nil
+}
+
+// fixAvailability adjusts r_old downwards and r_new upwards until the
+// happens-before relations hold, introducing temporary sessions (r_old <
+// r_nh or r_nh < r_new) where no provider covers the required horizon.
+func fixAvailability(a *analyzer.Analysis, s *NodeSchedule) {
+	// r_old: some provider must keep its old route strictly beyond r_old.
+	changedSomething := true
+	for changedSomething {
+		changedSomething = false
+		for _, n := range a.Switching {
+			t := s.Tuples[n]
+			if a.ExtProviderOld[n] || hasPermanentOld(a, s, n) {
+				continue
+			}
+			maxH := 0
+			for _, m := range a.DOld[n] {
+				if h := hOld(a, s, m); h > maxH {
+					maxH = h
+				}
+			}
+			if t.Old >= maxH {
+				want := maxH - 1
+				if want < 1 {
+					want = 1 // cannot move before the first round
+				}
+				if want != t.Old {
+					t.Old = want
+					s.Tuples[n] = t
+					changedSomething = true
+				}
+			}
+		}
+	}
+	// r_new: some provider must have its new route strictly before r_new.
+	changedSomething = true
+	for changedSomething {
+		changedSomething = false
+		for _, n := range a.Switching {
+			t := s.Tuples[n]
+			if a.ExtProviderNew[n] || hasPermanentNew(a, s, n) {
+				continue
+			}
+			minH := s.R + 1
+			for _, m := range a.DNew[n] {
+				if h := hNew(a, s, m); h < minH {
+					minH = h
+				}
+			}
+			if t.New <= minH {
+				want := minH + 1
+				if want > s.R {
+					want = s.R // cannot push past the last round
+				}
+				if want != t.New {
+					t.New = want
+					s.Tuples[n] = t
+					changedSomething = true
+				}
+			}
+		}
+	}
+	s.TempOldSessions, s.TempNewSessions = 0, 0
+	for _, t := range s.Tuples {
+		if t.Old < t.NH {
+			s.TempOldSessions++
+		}
+		if t.NH < t.New {
+			s.TempNewSessions++
+		}
+	}
+}
+
+func hasPermanentOld(a *analyzer.Analysis, s *NodeSchedule, n topology.NodeID) bool {
+	for _, m := range a.DOld[n] {
+		if _, switching := s.Tuples[m]; !switching {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPermanentNew(a *analyzer.Analysis, s *NodeSchedule, n topology.NodeID) bool {
+	for _, m := range a.DNew[n] {
+		if _, switching := s.Tuples[m]; !switching {
+			return true
+		}
+	}
+	return false
+}
+
+// chooseProviders fills MOld/MNew from the final tuples, preferring
+// permanent providers.
+func chooseProviders(a *analyzer.Analysis, s *NodeSchedule) {
+	for _, n := range a.Switching {
+		t := s.Tuples[n]
+		s.MOld[n] = topology.None
+		if !a.ExtProviderOld[n] {
+			best, bestH := topology.None, 0
+			for _, m := range a.DOld[n] {
+				if h := hOld(a, s, m); h > t.Old && h > bestH {
+					best, bestH = m, h
+				}
+			}
+			s.MOld[n] = best
+		}
+		s.MNew[n] = topology.None
+		if !a.ExtProviderNew[n] {
+			best, bestH := topology.None, s.R+2
+			for _, m := range a.DNew[n] {
+				if h := hNew(a, s, m); h < t.New && h < bestH {
+					best, bestH = m, h
+				}
+			}
+			s.MNew[n] = best
+		}
+	}
+}

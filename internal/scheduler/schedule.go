@@ -1,0 +1,391 @@
+// Package scheduler implements Chameleon's second stage (§4): it encodes
+// the happens-before relations, concurrent-update independence, forwarding
+// loop-freedom, and the LTL specification as an integer linear program, and
+// searches for the node schedule with the fewest rounds (primary objective)
+// and fewest temporary BGP sessions (secondary objective).
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"chameleon/internal/analyzer"
+	"chameleon/internal/fwd"
+	"chameleon/internal/milp"
+	"chameleon/internal/spec"
+	"chameleon/internal/topology"
+)
+
+// Tuple is the schedule (r_old, r_nh, r_new) of one node (§4.1, Eq. 1):
+// the node receives its old route until round Old, changes its next hop in
+// round NH, and receives its new route from round New on.
+type Tuple struct {
+	Old, NH, New int
+}
+
+// NodeSchedule is the scheduler's output: a round count and a tuple per
+// switching node, plus the providers chosen to pin during setup.
+type NodeSchedule struct {
+	// R is the number of update-phase rounds.
+	R int
+	// Tuples holds the (r_old, r_nh, r_new) of every switching node.
+	Tuples map[topology.NodeID]Tuple
+	// MOld[n] is the neighbor whose old route n is pinned to during
+	// setup; topology.None when the old route arrives over eBGP.
+	MOld map[topology.NodeID]topology.NodeID
+	// MNew[n] is the neighbor n's new route is learned from in round
+	// r_new; topology.None when the new route arrives over eBGP.
+	MNew map[topology.NodeID]topology.NodeID
+	// TempOldSessions and TempNewSessions count required temporary
+	// sessions towards e(Pold(n)) and e(Pnew(n)).
+	TempOldSessions, TempNewSessions int
+
+	Stats Stats
+}
+
+// Stats aggregates solve effort across the round-minimization loop.
+type Stats struct {
+	RoundsTried  int
+	SolverNodes  int64
+	Propagations int64
+	Duration     time.Duration
+	Variables    int
+	Constraints  int
+	ObjectiveOpt bool
+	TempSessions int
+}
+
+// TempOld reports whether node n needs a temporary session to its old
+// egress (r_old < r_nh).
+func (s *NodeSchedule) TempOld(n topology.NodeID) bool {
+	t, ok := s.Tuples[n]
+	return ok && t.Old < t.NH
+}
+
+// TempNew reports whether node n needs a temporary session to its new
+// egress (r_nh < r_new).
+func (s *NodeSchedule) TempNew(n topology.NodeID) bool {
+	t, ok := s.Tuples[n]
+	return ok && t.NH < t.New
+}
+
+// Options tune the scheduler.
+type Options struct {
+	// MaxRounds caps the round-minimization loop (default 16).
+	MaxRounds int
+	// DisableSlackPhase turns off the fallback that, when every round
+	// count up to MaxRounds is undecided, tries generous round counts
+	// (2×, 4×, 8× MaxRounds — more slack makes feasibility easy) and
+	// bisects back down. With the fallback, Schedule fails only when the
+	// reconfiguration looks genuinely unschedulable.
+	DisableSlackPhase bool
+	// TimeLimitPerRound bounds each feasibility ILP solve in the retry
+	// pass (default 60s).
+	TimeLimitPerRound time.Duration
+	// ScanTimePerRound bounds each solve in the first, scanning pass over
+	// round counts (default 2s). Rounds left undecided by the scan are
+	// retried with TimeLimitPerRound only if the scan finds no feasible
+	// round count at all; the returned R is therefore minimal up to the
+	// solver budget.
+	ScanTimePerRound time.Duration
+	// ObjectiveTimeLimit bounds the temp-session minimization pass after
+	// the first feasible schedule at the minimal R (default 2s); on
+	// expiry the best schedule found so far is returned.
+	ObjectiveTimeLimit time.Duration
+	// ExplicitLoopConstraints adds the Eq. 3 cycle constraints (§4.4).
+	// They are implied by the concurrency constraints (App. D) but reduce
+	// solving variance; default true, disabled for the Fig. 13 ablation.
+	ExplicitLoopConstraints bool
+	// MinimizeTempSessions runs the secondary objective (§4.1); when
+	// false the first feasible schedule at the minimum R is returned.
+	MinimizeTempSessions bool
+	// UseLPBound enables LP-relaxation bounding inside the MILP solver.
+	UseLPBound bool
+	// CycleLimit caps explicit loop enumeration (default 10000).
+	CycleLimit int
+	// SerializeUpdates forbids concurrent forwarding changes entirely: at
+	// most one next-hop change per round (ablation of §4.2's concurrent
+	// updates — quantifies how much concurrency shortens reconfigurations).
+	SerializeUpdates bool
+}
+
+// DefaultOptions mirror the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		MaxRounds:               16,
+		TimeLimitPerRound:       60 * time.Second,
+		ScanTimePerRound:        2 * time.Second,
+		ObjectiveTimeLimit:      2 * time.Second,
+		ExplicitLoopConstraints: true,
+		MinimizeTempSessions:    true,
+		CycleLimit:              10000,
+	}
+}
+
+// ErrUnschedulable is returned when no schedule satisfying the
+// specification exists within MaxRounds — the paper's "Chameleon notifies
+// the user that it cannot perform the reconfiguration safely" case (§8).
+var ErrUnschedulable = errors.New("scheduler: no safe schedule exists within the round limit")
+
+// Schedule searches for the minimum-round schedule satisfying sp.
+// The specification must hold in the initial and final states (checked
+// against rounds 0 and R of the induced trace).
+func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule, error) {
+	if opts.MaxRounds == 0 {
+		opts.MaxRounds = 16
+	}
+	if opts.TimeLimitPerRound == 0 {
+		opts.TimeLimitPerRound = 60 * time.Second
+	}
+	if opts.ObjectiveTimeLimit == 0 {
+		opts.ObjectiveTimeLimit = 2 * time.Second
+	}
+	if opts.CycleLimit == 0 {
+		opts.CycleLimit = 10000
+	}
+	start := time.Now()
+	var agg Stats
+	if len(a.Switching) == 0 {
+		// Nothing changes announcements; the whole reconfiguration is
+		// setup/cleanup only.
+		return &NodeSchedule{R: 0, Tuples: map[topology.NodeID]Tuple{},
+			MOld: map[topology.NodeID]topology.NodeID{},
+			MNew: map[topology.NodeID]topology.NodeID{}, Stats: agg}, nil
+	}
+	attempt := func(r int, budget time.Duration) (*NodeSchedule, error) {
+		agg.RoundsTried++
+		o := opts
+		o.TimeLimitPerRound = budget
+		enc := newEncoder(a, sp, r, o)
+		sched, stats, err := enc.solve()
+		agg.SolverNodes += stats.Nodes
+		agg.Propagations += stats.Propagations
+		agg.Variables = enc.model.NumVars()
+		agg.Constraints = enc.model.NumConstraints()
+		if err == nil {
+			agg.ObjectiveOpt = stats.Optimal
+		}
+		return sched, err
+	}
+	finish := func(sched *NodeSchedule) (*NodeSchedule, error) {
+		agg.Duration = time.Since(start)
+		sched.Stats = agg
+		sched.Stats.TempSessions = sched.TempOldSessions + sched.TempNewSessions
+		return sched, nil
+	}
+
+	if opts.ScanTimePerRound == 0 {
+		opts.ScanTimePerRound = 2 * time.Second
+	}
+	// Scan pass: cheap budget per round count; skip past infeasible and
+	// undecided rounds alike (larger round counts are usually easier).
+	var undecided []int
+	for r := 1; r <= opts.MaxRounds; r++ {
+		sched, err := attempt(r, opts.ScanTimePerRound)
+		if err == nil {
+			return finish(sched)
+		}
+		if !errors.Is(err, milp.ErrInfeasible) {
+			undecided = append(undecided, r)
+		}
+	}
+	// Retry pass: split the full budget across the undecided round counts
+	// (ascending, so the returned R stays as small as the budget allows).
+	var lastErr error
+	if len(undecided) > 0 {
+		per := opts.TimeLimitPerRound / time.Duration(len(undecided))
+		if per < 2*opts.ScanTimePerRound {
+			per = 2 * opts.ScanTimePerRound
+		}
+		deadline := time.Now().Add(opts.TimeLimitPerRound)
+		for _, r := range undecided {
+			budget := per
+			if remaining := time.Until(deadline); remaining < budget {
+				budget = remaining
+			}
+			if budget <= 0 {
+				lastErr = fmt.Errorf("scheduler: retry budget exhausted: %w", milp.ErrTimeout)
+				break
+			}
+			sched, err := attempt(r, budget)
+			if err == nil {
+				return finish(sched)
+			}
+			if !errors.Is(err, milp.ErrInfeasible) {
+				lastErr = fmt.Errorf("scheduler: solving with R=%d: %w", r, err)
+			}
+		}
+	}
+	// Slack phase. Tight round counts can be undecidable within budget
+	// while generous ones solve in seconds (more slack, easier search).
+	// Find any feasible schedule at 2×/4×/8× MaxRounds, then bisect back
+	// down towards MaxRounds while the per-attempt budget holds.
+	if !opts.DisableSlackPhase && len(undecided) > 0 {
+		slackBudget := 2 * opts.ScanTimePerRound
+		var best *NodeSchedule
+		for factor := 2; factor <= 4; factor *= 2 {
+			if sched, err := attempt(factor*opts.MaxRounds, slackBudget); err == nil {
+				best = sched
+				break
+			}
+		}
+		if best != nil {
+			lo := opts.MaxRounds // everything ≤ MaxRounds was undecided
+			for lo+1 < best.R {
+				mid := (lo + best.R) / 2
+				if sched, err := attempt(mid, slackBudget); err == nil {
+					best = sched
+				} else {
+					lo = mid
+				}
+			}
+			return finish(best)
+		}
+	}
+
+	agg.Duration = time.Since(start)
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, ErrUnschedulable
+}
+
+// Validate checks a schedule against the §4 constraints independently of
+// the solver: Eq. 1 ordering, happens-before feasibility (signaling level),
+// temporary-session egress coupling, per-round forwarding-path independence
+// (Eq. 2), loop-freedom of every intermediate state, and the specification
+// over the induced forwarding trace.
+func Validate(a *analyzer.Analysis, sp *spec.Spec, s *NodeSchedule) error {
+	// Happens-before: the provider pinned at setup must outlive the node's
+	// old-route horizon, and the new provider must precede r_new. A node
+	// with r_old = 0 lives on its temporary old-egress session from setup;
+	// one with r_new = R+1 receives its final route during cleanup.
+	for _, n := range a.Switching {
+		t := s.Tuples[n]
+		if !a.ExtProviderOld[n] && t.Old >= 1 {
+			ok := false
+			for _, m := range a.DOld[n] {
+				if hOld(a, s, m) > t.Old {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("node %d: no provider outlives r_old=%d", n, t.Old)
+			}
+		}
+		if !a.ExtProviderNew[n] && t.New <= s.R {
+			ok := false
+			for _, m := range a.DNew[n] {
+				if hNew(a, s, m) < t.New {
+					ok = true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("node %d: no provider precedes r_new=%d", n, t.New)
+			}
+		}
+		// Temporary sessions only carry routes while the egress selects
+		// them (§3 technique 1).
+		if t.Old < t.NH {
+			if eo := a.POld[n].Egress; eo != n {
+				if te, ok := s.Tuples[eo]; ok && t.NH > te.NH {
+					return fmt.Errorf("node %d uses a temp old session beyond the old egress's switch (%d > %d)", n, t.NH, te.NH)
+				}
+			}
+		}
+		if t.NH < t.New {
+			if en := a.PNew[n].Egress; en != n {
+				if te, ok := s.Tuples[en]; ok && t.NH < te.NH {
+					return fmt.Errorf("node %d uses a temp new session before the new egress's switch (%d < %d)", n, t.NH, te.NH)
+				}
+			}
+		}
+	}
+	return ValidateForwarding(a, sp, s)
+}
+
+// ValidateForwarding checks only the forwarding-level guarantees of a
+// schedule: Eq. 1 ordering, per-round independence, loop-freedom, and the
+// specification over the induced trace. The constructive App. B scheduler
+// is validated at this level (Theorem 1 concerns forwarding only).
+func ValidateForwarding(a *analyzer.Analysis, sp *spec.Spec, s *NodeSchedule) error {
+	for n, t := range s.Tuples {
+		if !(0 <= t.Old && t.Old <= t.NH && 1 <= t.NH && t.NH <= s.R && t.NH <= t.New && t.New <= s.R+1) {
+			return fmt.Errorf("node %d tuple %+v violates 0 ≤ r_old ≤ r_nh ≤ r_new ≤ R+1", n, t)
+		}
+	}
+	// Per-round independence and loop freedom over the induced trace.
+	trace := InducedTrace(a, s)
+	for k := 1; k <= s.R; k++ {
+		if trace[k].HasLoop() {
+			return fmt.Errorf("round %d has a forwarding loop", k)
+		}
+		// Every node whose nh changes in round k must not have another
+		// change on its old or new forwarding path.
+		for _, n := range changersAt(a, s, k) {
+			for _, st := range []fwd.State{trace[k-1], trace[k]} {
+				path, _ := st.Path(n)
+				for _, p := range path[1:] {
+					if t, ok := s.Tuples[p]; ok && t.NH == k && a.ChangesNextHop(p) {
+						return fmt.Errorf("round %d: dependent concurrent updates %d and %d", k, n, p)
+					}
+				}
+			}
+		}
+	}
+	if sp != nil {
+		// The encoder asserts the specification root at round 1 (§4.3);
+		// validate against the same semantics.
+		if !sp.Eval(trace[1:]) {
+			return fmt.Errorf("specification violated by the induced trace")
+		}
+	}
+	return nil
+}
+
+// hOld returns the round horizon until which m announces its old route:
+// R+1 if m never switches announcement, its r_old otherwise.
+func hOld(a *analyzer.Analysis, s *NodeSchedule, m topology.NodeID) int {
+	if t, ok := s.Tuples[m]; ok {
+		return t.Old
+	}
+	return s.R + 1
+}
+
+// hNew returns the first round from which m announces its new route: 0 if
+// m never switches announcement, its r_new otherwise.
+func hNew(a *analyzer.Analysis, s *NodeSchedule, m topology.NodeID) int {
+	if t, ok := s.Tuples[m]; ok {
+		return t.New
+	}
+	return 0
+}
+
+func changersAt(a *analyzer.Analysis, s *NodeSchedule, k int) []topology.NodeID {
+	var out []topology.NodeID
+	for n, t := range s.Tuples {
+		if t.NH == k && a.ChangesNextHop(n) {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InducedTrace returns the forwarding states [round 0 .. round R] induced
+// by the schedule: in round k, nodes with r_nh ≤ k use their new next hop.
+func InducedTrace(a *analyzer.Analysis, s *NodeSchedule) []fwd.State {
+	trace := make([]fwd.State, s.R+1)
+	for k := 0; k <= s.R; k++ {
+		st := a.NHOld.Clone()
+		for n, t := range s.Tuples {
+			if t.NH <= k {
+				st[n] = a.NHNew[n]
+			}
+		}
+		trace[k] = st
+	}
+	return trace
+}

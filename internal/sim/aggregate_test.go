@@ -1,0 +1,134 @@
+package sim_test
+
+import (
+	"testing"
+
+	"chameleon/internal/bgp"
+	"chameleon/internal/scenario"
+	"chameleon/internal/sim"
+)
+
+// aggFixture: the running-example network where ext1 announces two
+// contributor prefixes (10, 11) at n1, which aggregates them into summary
+// prefix 100 with summary-only suppression.
+func aggFixture(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	s := scenario.RunningExample()
+	ext1 := s.Graph.MustNode("ext1")
+	n1 := s.Graph.MustNode("n1")
+	s.Net.InjectExternalRoute(ext1, sim.Announcement{Prefix: 10, ASPathLen: 2})
+	s.Net.InjectExternalRoute(ext1, sim.Announcement{Prefix: 11, ASPathLen: 2})
+	s.Net.Run()
+	s.Net.AddAggregate(n1, sim.AggregateRule{
+		Summary:      100,
+		Contributors: []bgp.Prefix{10, 11},
+		SummaryOnly:  true,
+	})
+	s.Net.Run()
+	return s
+}
+
+func TestAggregateOriginatesSummary(t *testing.T) {
+	s := aggFixture(t)
+	n1 := s.Graph.MustNode("n1")
+	// Every internal node must know the summary with egress n1.
+	for _, n := range s.Graph.Internal() {
+		best, ok := s.Net.Best(n, 100)
+		if !ok {
+			t.Errorf("node %d has no summary route", n)
+			continue
+		}
+		if best.Egress != n1 {
+			t.Errorf("node %d summary egress %d, want n1", n, best.Egress)
+		}
+	}
+}
+
+func TestSummaryOnlySuppressesContributors(t *testing.T) {
+	s := aggFixture(t)
+	n3 := s.Graph.MustNode("n3")
+	// The interior must NOT see the contributor prefixes.
+	for _, p := range []bgp.Prefix{10, 11} {
+		if cands := s.Net.Candidates(n3, p); len(cands) != 0 {
+			t.Errorf("n3 sees suppressed contributor %d: %v", p, cands)
+		}
+	}
+	// The aggregating border router still selects the contributors.
+	n1 := s.Graph.MustNode("n1")
+	for _, p := range []bgp.Prefix{10, 11} {
+		if _, ok := s.Net.Best(n1, p); !ok {
+			t.Errorf("n1 lost contributor %d", p)
+		}
+	}
+}
+
+// TestAggregateIndependence reproduces §8's argument: with border-only
+// aggregation, withdrawing ONE contributor leaves the summary (and the
+// interior routing state) untouched — the prefixes behave independently
+// from the interior's point of view.
+func TestAggregateIndependence(t *testing.T) {
+	s := aggFixture(t)
+	ext1 := s.Graph.MustNode("ext1")
+	n3 := s.Graph.MustNode("n3")
+	msgsBefore := s.Net.MessagesProcessed()
+	before, ok := s.Net.Best(n3, 100)
+	if !ok {
+		t.Fatal("n3 lacks the summary")
+	}
+	s.Net.WithdrawExternalRoute(ext1, 10)
+	s.Net.Run()
+	after, ok := s.Net.Best(n3, 100)
+	if !ok {
+		t.Fatal("summary vanished though contributor 11 is alive")
+	}
+	if !before.PathEqual(after) {
+		t.Error("summary route churned on a partial contributor withdrawal")
+	}
+	// No summary-related iBGP churn may have occurred: the only messages
+	// are the eBGP withdraw itself (plus nothing in the interior).
+	if churn := s.Net.MessagesProcessed() - msgsBefore; churn > 2 {
+		t.Errorf("interior saw %d messages after a suppressed-contributor withdrawal", churn)
+	}
+}
+
+func TestAggregateWithdrawnWhenAllContributorsGone(t *testing.T) {
+	s := aggFixture(t)
+	ext1 := s.Graph.MustNode("ext1")
+	s.Net.WithdrawExternalRoute(ext1, 10)
+	s.Net.WithdrawExternalRoute(ext1, 11)
+	s.Net.Run()
+	for _, n := range s.Graph.Internal() {
+		if _, ok := s.Net.Best(n, 100); ok {
+			t.Errorf("node %d still has the summary with no contributors", n)
+		}
+	}
+}
+
+func TestRemoveAggregates(t *testing.T) {
+	s := aggFixture(t)
+	n1 := s.Graph.MustNode("n1")
+	s.Net.RemoveAggregates(n1)
+	s.Net.Run()
+	for _, n := range s.Graph.Internal() {
+		if _, ok := s.Net.Best(n, 100); ok {
+			t.Errorf("node %d kept the summary after rule removal", n)
+		}
+	}
+}
+
+func TestAggregateSurvivesClone(t *testing.T) {
+	s := aggFixture(t)
+	c := s.Net.Clone()
+	ext1 := s.Graph.MustNode("ext1")
+	c.WithdrawExternalRoute(ext1, 10)
+	c.WithdrawExternalRoute(ext1, 11)
+	c.Run()
+	n3 := s.Graph.MustNode("n3")
+	if _, ok := c.Best(n3, 100); ok {
+		t.Error("cloned network did not withdraw the summary")
+	}
+	// Original unaffected.
+	if _, ok := s.Net.Best(n3, 100); !ok {
+		t.Error("original lost the summary")
+	}
+}

@@ -1,0 +1,21 @@
+package sim
+
+import "chameleon/internal/topology"
+
+// Command is an atomic configuration change targeting one router — the unit
+// the paper's compiler (§5) interleaves with its temporary commands. Apply
+// mutates the network immediately; the runtime controller is responsible
+// for modeling router command latency before invoking it.
+type Command struct {
+	// Node is the router whose configuration the command changes.
+	Node topology.NodeID
+	// Description is a human-readable rendering for plans and logs.
+	Description string
+	// DeniesOld reports whether the command makes Node deny (lose) its
+	// initial route; per §5 such commands run after r_nh, others before.
+	DeniesOld bool
+	// Apply performs the change.
+	Apply func(*Network)
+}
+
+func (c Command) String() string { return c.Description }

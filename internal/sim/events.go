@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+
+	"chameleon/internal/bgp"
+	"chameleon/internal/topology"
+)
+
+// msgKind distinguishes BGP message types on the wire.
+type msgKind int
+
+const (
+	msgUpdate msgKind = iota
+	msgWithdraw
+)
+
+// message is a BGP message in flight on a directed session.
+type message struct {
+	kind   msgKind
+	from   topology.NodeID
+	to     topology.NodeID
+	route  bgp.Route  // for msgUpdate
+	prefix bgp.Prefix // for msgWithdraw
+}
+
+// event is a queue entry: either a message delivery or a scheduled function
+// (configuration command, external event, probe).
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break, preserves insertion order at equal times
+	msg *message
+	fn  func(*Network)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	e := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return e
+}
+
+func (n *Network) push(e *event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.queue, e)
+}
+
+// ScheduleAt runs fn when the simulated clock reaches t. Functions
+// scheduled for the past run at the current time.
+func (n *Network) ScheduleAt(t time.Duration, fn func(*Network)) {
+	if t < n.now {
+		t = n.now
+	}
+	n.push(&event{at: t, fn: fn})
+}
+
+// ScheduleAfter runs fn after the given delay from the current simulated
+// time.
+func (n *Network) ScheduleAfter(d time.Duration, fn func(*Network)) {
+	n.ScheduleAt(n.now+d, fn)
+}
+
+// sendMsg enqueues a BGP message honoring per-session FIFO ordering: a
+// message never overtakes an earlier message on the same directed session.
+func (n *Network) sendMsg(m *message) {
+	delay := n.sessionDelay(m.from, m.to)
+	if n.opts.Jitter > 0 {
+		delay += time.Duration(n.rng.Int64N(int64(n.opts.Jitter)))
+	}
+	at := n.now + delay
+	key := sessionKey(m.from, m.to)
+	if last, ok := n.lastDelivery[key]; ok && at <= last {
+		at = last + time.Microsecond
+	}
+	n.lastDelivery[key] = at
+	n.push(&event{at: at, msg: m})
+}
+
+type sessKey struct{ from, to topology.NodeID }
+
+func sessionKey(from, to topology.NodeID) sessKey { return sessKey{from, to} }

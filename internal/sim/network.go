@@ -1,0 +1,659 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"chameleon/internal/bgp"
+	"chameleon/internal/fwd"
+	"chameleon/internal/igp"
+	"chameleon/internal/topology"
+)
+
+// Options configure a simulated network.
+type Options struct {
+	// Seed drives message jitter; the same seed yields the same execution.
+	Seed uint64
+	// Jitter is the maximum random extra delay added to each message,
+	// exploring different BGP message interleavings. Zero disables jitter.
+	Jitter time.Duration
+	// BaseDelay is the floor delay of any BGP message.
+	BaseDelay time.Duration
+	// DelayPerIGPUnit scales session delay with the IGP distance between
+	// the session endpoints, emulating geographic distance.
+	DelayPerIGPUnit time.Duration
+	// TracePrefixes enables forwarding-trace recording for these prefixes
+	// (nil records all).
+	TracePrefixes []bgp.Prefix
+}
+
+// DefaultOptions returns the options used across the evaluation: 10 ms
+// base delay, 2 ms per IGP weight unit and 20 ms jitter — wide-area RTTs in
+// the range the paper's testbed emulated with its delay server (§6).
+func DefaultOptions(seed uint64) Options {
+	return Options{
+		Seed:            seed,
+		Jitter:          20 * time.Millisecond,
+		BaseDelay:       10 * time.Millisecond,
+		DelayPerIGPUnit: 2 * time.Millisecond,
+	}
+}
+
+// Network is the live simulated network: topology + IGP + per-router BGP
+// state + an event queue. It is not safe for concurrent use.
+type Network struct {
+	graph   *topology.Graph
+	spf     *igp.SPF
+	routers []*router
+	opts    Options
+
+	queue        eventQueue
+	seq          uint64
+	now          time.Duration
+	rng          *rand.Rand
+	lastDelivery map[sessKey]time.Duration
+
+	traces   map[bgp.Prefix]*fwd.Trace
+	traceAll bool
+	dirty    map[bgp.Prefix]bool
+
+	// maxTableEntries tracks the §7.3 metric: the maximum, over time, of
+	// the network-wide total number of Adj-RIB-In entries.
+	maxTableEntries int
+
+	// ebgpExports counts routes advertised to external peers, per prefix,
+	// used to verify Chameleon never leaks transient routes (§3).
+	ebgpExports map[bgp.Prefix]int
+
+	msgCount uint64
+}
+
+// New builds a network over g with all BGP state empty.
+func New(g *topology.Graph, opts Options) *Network {
+	n := &Network{
+		graph:        g,
+		spf:          igp.Compute(g),
+		opts:         opts,
+		rng:          rand.New(rand.NewPCG(opts.Seed, opts.Seed^0xda3e39cb94b95bdb)),
+		lastDelivery: make(map[sessKey]time.Duration),
+		traces:       make(map[bgp.Prefix]*fwd.Trace),
+		dirty:        make(map[bgp.Prefix]bool),
+		ebgpExports:  make(map[bgp.Prefix]int),
+	}
+	if opts.TracePrefixes == nil {
+		n.traceAll = true
+	} else {
+		for _, p := range opts.TracePrefixes {
+			n.traces[p] = &fwd.Trace{}
+		}
+	}
+	for _, node := range g.Nodes() {
+		n.routers = append(n.routers, newRouter(node.ID, node.External))
+	}
+	return n
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// SPF returns the IGP state.
+func (n *Network) SPF() *igp.SPF { return n.spf }
+
+// Now returns the current simulated time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// MessagesProcessed returns the number of BGP messages delivered so far.
+func (n *Network) MessagesProcessed() uint64 { return n.msgCount }
+
+// jitterEnabled returns the configured jitter.
+func (n *Network) sessionDelay(a, b topology.NodeID) time.Duration {
+	d := n.opts.BaseDelay
+	if dist := n.spf.Dist(a, b); dist < igp.Infinity {
+		d += time.Duration(dist * float64(n.opts.DelayPerIGPUnit))
+	}
+	return d
+}
+
+// --- Configuration -------------------------------------------------------
+
+// SetSession establishes (or re-types) a BGP session between a and b;
+// kindAtA is a's role towards b (the reverse role is implied). Existing
+// best routes are advertised over the new session immediately.
+func (n *Network) SetSession(a, b topology.NodeID, kindAtA bgp.SessionKind) {
+	ra, rb := n.routers[a], n.routers[b]
+	_, existed := ra.sessions[b]
+	ra.sessions[b] = kindAtA
+	rb.sessions[a] = reverseKind(kindAtA)
+	if existed {
+		// Role change: it alters not only what flows over this session but
+		// also how routes *learned* over it may be re-exported (client vs
+		// non-client reflection rules), so refresh both routers' exports
+		// towards every neighbor.
+		for _, node := range []topology.NodeID{a, b} {
+			for _, nb := range n.routers[node].neighbors() {
+				n.refreshExports(node, nb)
+			}
+		}
+		return
+	}
+	n.advertiseAll(a, b)
+	n.advertiseAll(b, a)
+}
+
+func reverseKind(k bgp.SessionKind) bgp.SessionKind {
+	switch k {
+	case bgp.IBGPClient:
+		return bgp.IBGPUp
+	case bgp.IBGPUp:
+		return bgp.IBGPClient
+	default:
+		return k
+	}
+}
+
+// RemoveSession tears the session between a and b down. Both ends drop the
+// learned routes and re-run their decision process.
+func (n *Network) RemoveSession(a, b topology.NodeID) {
+	n.teardownHalf(a, b)
+	n.teardownHalf(b, a)
+}
+
+func (n *Network) teardownHalf(at, peer topology.NodeID) {
+	r := n.routers[at]
+	if _, ok := r.sessions[peer]; !ok {
+		return
+	}
+	delete(r.sessions, peer)
+	delete(r.adjOut, peer)
+	for _, p := range r.adjIn.DropNeighbor(peer) {
+		n.runDecision(at, p)
+	}
+}
+
+// HasSession reports whether a session between a and b exists and returns
+// a's role.
+func (n *Network) HasSession(a, b topology.NodeID) (bgp.SessionKind, bool) {
+	k, ok := n.routers[a].sessions[b]
+	return k, ok
+}
+
+// Sessions returns node a's neighbors.
+func (n *Network) Sessions(a topology.NodeID) []topology.NodeID {
+	return n.routers[a].neighbors()
+}
+
+// UpdateRouteMap mutates the route map of node towards neighbor in the
+// given direction and immediately re-evaluates affected BGP state.
+func (n *Network) UpdateRouteMap(node, neighbor topology.NodeID, dir Direction, mutate func(*RouteMap)) {
+	r := n.routers[node]
+	mutate(r.ensureRouteMap(dir, neighbor))
+	if dir == In {
+		for _, p := range r.adjIn.Prefixes() {
+			n.runDecision(node, p)
+		}
+	} else {
+		n.refreshExports(node, neighbor)
+	}
+}
+
+// RouteMapOf exposes the current route map (may be nil) for inspection.
+func (n *Network) RouteMapOf(node, neighbor topology.NodeID, dir Direction) *RouteMap {
+	return n.routers[node].routeMap(dir, neighbor)
+}
+
+// InjectExternalRoute makes external network ext originate ann and
+// advertise it over all of ext's eBGP sessions.
+func (n *Network) InjectExternalRoute(ext topology.NodeID, ann Announcement) {
+	r := n.routers[ext]
+	if !r.external {
+		panic(fmt.Sprintf("sim: InjectExternalRoute on internal node %d", ext))
+	}
+	r.originated[ann.Prefix] = ann
+	for _, peer := range r.neighbors() {
+		n.sendExternalAnnouncement(ext, peer, ann)
+	}
+}
+
+// WithdrawExternalRoute withdraws a previously originated prefix.
+func (n *Network) WithdrawExternalRoute(ext topology.NodeID, prefix bgp.Prefix) {
+	r := n.routers[ext]
+	delete(r.originated, prefix)
+	for _, peer := range r.neighbors() {
+		n.sendMsg(&message{kind: msgWithdraw, from: ext, to: peer, prefix: prefix})
+	}
+}
+
+func (n *Network) sendExternalAnnouncement(ext, peer topology.NodeID, ann Announcement) {
+	route := bgp.Route{
+		Prefix:       ann.Prefix,
+		Egress:       peer,
+		External:     ext,
+		Path:         []topology.NodeID{peer},
+		LocalPref:    bgp.DefaultLocalPref,
+		ASPathLen:    ann.ASPathLen,
+		MED:          ann.MED,
+		FromEBGP:     true,
+		OriginatorID: topology.None,
+	}
+	n.sendMsg(&message{kind: msgUpdate, from: ext, to: peer, route: route})
+}
+
+// FailLink fails the physical link between a and b and reconverges the IGP,
+// then re-runs the BGP decision process everywhere (IGP distances feed the
+// decision process) and refreshes forwarding traces.
+func (n *Network) FailLink(a, b topology.NodeID) bool {
+	if !n.spf.FailLink(a, b) {
+		return false
+	}
+	n.igpChanged()
+	return true
+}
+
+// RestoreLink restores a failed link and reconverges.
+func (n *Network) RestoreLink(a, b topology.NodeID) bool {
+	if !n.spf.RestoreLink(a, b) {
+		return false
+	}
+	n.igpChanged()
+	return true
+}
+
+func (n *Network) igpChanged() {
+	n.spf.Recompute()
+	for _, r := range n.routers {
+		if r.external {
+			continue
+		}
+		for _, p := range r.adjIn.Prefixes() {
+			n.runDecision(r.id, p)
+		}
+		n.markAllDirtyFor(r.id)
+	}
+	n.snapshotDirty()
+}
+
+func (n *Network) markAllDirtyFor(node topology.NodeID) {
+	r := n.routers[node]
+	for _, p := range r.locRib.Prefixes() {
+		n.dirty[p] = true
+	}
+}
+
+// --- Event loop ----------------------------------------------------------
+
+// Step processes the next queued event; it returns false if the queue is
+// empty.
+func (n *Network) Step() bool {
+	if n.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&n.queue).(*event)
+	n.now = e.at
+	if e.fn != nil {
+		e.fn(n)
+	} else if e.msg != nil {
+		n.deliver(e.msg)
+	}
+	n.snapshotDirty()
+	n.trackTableSize()
+	return true
+}
+
+// Run processes events until the queue is empty and returns the number of
+// events processed. It panics after maxEvents as a divergence guard.
+func (n *Network) Run() int {
+	const maxEvents = 20_000_000
+	count := 0
+	for n.Step() {
+		count++
+		if count > maxEvents {
+			panic("sim: event budget exceeded; network may be diverging")
+		}
+	}
+	return count
+}
+
+// RunUntil processes all events scheduled at or before t, then advances the
+// clock to t.
+func (n *Network) RunUntil(t time.Duration) int {
+	count := 0
+	for n.queue.Len() > 0 && n.queue[0].at <= t {
+		n.Step()
+		count++
+	}
+	if n.now < t {
+		n.now = t
+	}
+	return count
+}
+
+// Pending returns the number of queued events.
+func (n *Network) Pending() int { return n.queue.Len() }
+
+// Converged reports whether no BGP messages or scheduled functions remain.
+func (n *Network) Converged() bool { return n.queue.Len() == 0 }
+
+func (n *Network) deliver(m *message) {
+	n.msgCount++
+	r := n.routers[m.to]
+	if _, up := r.sessions[m.from]; !up {
+		return // session went away while the message was in flight
+	}
+	if r.external {
+		// External networks are sinks; record exports for the
+		// no-transient-leak invariant.
+		if m.kind == msgUpdate {
+			r.adjIn.Set(m.from, m.route)
+			n.ebgpExports[m.route.Prefix]++
+		} else {
+			r.adjIn.Withdraw(m.from, m.prefix)
+		}
+		return
+	}
+	switch m.kind {
+	case msgUpdate:
+		if !r.acceptable(m.route) {
+			// Loop-rejected; an earlier route from this neighbor is
+			// implicitly replaced (treat as withdraw).
+			r.adjIn.Withdraw(m.from, m.route.Prefix)
+			n.runDecision(m.to, m.route.Prefix)
+			return
+		}
+		r.adjIn.Set(m.from, m.route)
+		n.runDecision(m.to, m.route.Prefix)
+	case msgWithdraw:
+		if r.adjIn.Withdraw(m.from, m.prefix) {
+			n.runDecision(m.to, m.prefix)
+		}
+	}
+}
+
+// runDecision re-runs the best-path selection at node for prefix and, if
+// the selection changed, propagates the new state.
+func (n *Network) runDecision(node topology.NodeID, prefix bgp.Prefix) {
+	r := n.routers[node]
+	cands := r.ingressCandidates(prefix)
+	if agg, ok := r.aggregateRoute(prefix); ok {
+		cands = append(cands, agg)
+	}
+	cmp := bgp.Comparator{SPF: n.spf, Node: node}
+	old, hadOld := r.locRib.Get(prefix)
+	var selected bgp.Route
+	have := false
+	if i := cmp.Best(cands); i >= 0 {
+		selected = cands[i]
+		have = true
+	}
+	switch {
+	case !hadOld && !have:
+		return
+	case hadOld && have && routesIdentical(old, selected):
+		return
+	}
+	if have {
+		r.locRib.Set(selected)
+	} else {
+		r.locRib.Clear(prefix)
+	}
+	n.dirty[prefix] = true
+	n.propagate(node, prefix)
+	// A contributor change may (de)activate a summary (§8 aggregation).
+	if len(r.aggRules) > 0 && !isSummary(r, prefix) {
+		n.evalAggregates(node)
+	}
+}
+
+func isSummary(r *router, prefix bgp.Prefix) bool {
+	for _, rule := range r.aggRules {
+		if rule.Summary == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+func routesIdentical(a, b bgp.Route) bool {
+	return a.PathEqual(b) && a.Weight == b.Weight && a.LocalPref == b.LocalPref &&
+		a.ASPathLen == b.ASPathLen && a.MED == b.MED && a.FromEBGP == b.FromEBGP
+}
+
+// propagate diffs the desired exports of node for prefix against Adj-RIB-Out
+// and emits updates/withdrawals.
+func (n *Network) propagate(node topology.NodeID, prefix bgp.Prefix) {
+	r := n.routers[node]
+	for _, peer := range r.neighbors() {
+		n.exportDiff(node, peer, prefix)
+	}
+}
+
+// refreshExports re-sends (or withdraws) node's exports of all prefixes
+// towards one neighbor, used after egress route-map or session changes.
+func (n *Network) refreshExports(node, neighbor topology.NodeID) {
+	r := n.routers[node]
+	seen := make(map[bgp.Prefix]bool)
+	for _, p := range r.locRib.Prefixes() {
+		seen[p] = true
+		n.exportDiff(node, neighbor, p)
+	}
+	for p := range r.adjOut[neighbor] {
+		if !seen[p] {
+			n.exportDiff(node, neighbor, p)
+		}
+	}
+}
+
+// advertiseAll sends node's full table towards a newly connected neighbor.
+func (n *Network) advertiseAll(node, neighbor topology.NodeID) {
+	r := n.routers[node]
+	if r.external {
+		for _, ann := range r.originated {
+			n.sendExternalAnnouncement(node, neighbor, ann)
+		}
+		return
+	}
+	for _, p := range r.locRib.Prefixes() {
+		n.exportDiff(node, neighbor, p)
+	}
+}
+
+func (n *Network) exportDiff(node, neighbor topology.NodeID, prefix bgp.Prefix) {
+	r := n.routers[node]
+	if r.external {
+		return
+	}
+	want, ok := r.exportTo(neighbor, prefix)
+	sent, wasSent := r.adjOut[neighbor][prefix]
+	switch {
+	case ok && wasSent && routesIdentical(want, sent):
+		return
+	case ok:
+		if r.adjOut[neighbor] == nil {
+			r.adjOut[neighbor] = make(map[bgp.Prefix]bgp.Route)
+		}
+		r.adjOut[neighbor][prefix] = want
+		n.sendMsg(&message{kind: msgUpdate, from: node, to: neighbor, route: want})
+	case wasSent:
+		delete(r.adjOut[neighbor], prefix)
+		n.sendMsg(&message{kind: msgWithdraw, from: node, to: neighbor, prefix: prefix})
+	}
+}
+
+// --- Inspection ----------------------------------------------------------
+
+// Best returns the selected (post-policy) route of node for prefix.
+func (n *Network) Best(node topology.NodeID, prefix bgp.Prefix) (bgp.Route, bool) {
+	return n.routers[node].locRib.Get(prefix)
+}
+
+// Knows reports whether node has an admitted candidate route for prefix
+// matching pred (pred nil matches any).
+func (n *Network) Knows(node topology.NodeID, prefix bgp.Prefix, pred func(bgp.Route) bool) bool {
+	for _, r := range n.routers[node].ingressCandidates(prefix) {
+		if pred == nil || pred(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Candidates returns the admitted candidate routes of node for prefix.
+func (n *Network) Candidates(node topology.NodeID, prefix bgp.Prefix) []bgp.Route {
+	return n.routers[node].ingressCandidates(prefix)
+}
+
+// NextHop computes the forwarding next hop of node for prefix: External if
+// node is the egress, the IGP next hop towards the egress otherwise, Drop
+// if no route or the egress is IGP-unreachable.
+func (n *Network) NextHop(node topology.NodeID, prefix bgp.Prefix) topology.NodeID {
+	r := n.routers[node]
+	if r.external {
+		return fwd.Drop
+	}
+	best, ok := r.locRib.Get(prefix)
+	if !ok {
+		return fwd.Drop
+	}
+	if best.Egress == node {
+		return fwd.External
+	}
+	nh := n.spf.NextHop(node, best.Egress)
+	if nh == topology.None {
+		return fwd.Drop
+	}
+	return nh
+}
+
+// ForwardingState snapshots the forwarding state for prefix.
+func (n *Network) ForwardingState(prefix bgp.Prefix) fwd.State {
+	s := fwd.NewState(n.graph.NumNodes())
+	for _, node := range n.graph.Internal() {
+		s[node] = n.NextHop(node, prefix)
+	}
+	return s
+}
+
+// RoutingState returns each internal node's selected route for prefix
+// (P : N → route), with presence flags, in node-ID order.
+func (n *Network) RoutingState(prefix bgp.Prefix) ([]bgp.Route, []bool) {
+	routes := make([]bgp.Route, n.graph.NumNodes())
+	have := make([]bool, n.graph.NumNodes())
+	for _, node := range n.graph.Internal() {
+		routes[node], have[node] = n.routers[node].locRib.Get(prefix)
+	}
+	return routes, have
+}
+
+// TableEntries returns the current network-wide Adj-RIB-In entry count.
+func (n *Network) TableEntries() int {
+	total := 0
+	for _, r := range n.routers {
+		if r.external {
+			continue
+		}
+		total += r.adjIn.Size()
+	}
+	return total
+}
+
+// MaxTableEntries returns the maximum table size observed so far (§7.3).
+func (n *Network) MaxTableEntries() int { return n.maxTableEntries }
+
+func (n *Network) trackTableSize() {
+	if t := n.TableEntries(); t > n.maxTableEntries {
+		n.maxTableEntries = t
+	}
+}
+
+// ResetMaxTableEntries restarts §7.3 accounting from the current size.
+func (n *Network) ResetMaxTableEntries() { n.maxTableEntries = n.TableEntries() }
+
+// EBGPExports returns the number of updates advertised to external peers
+// for prefix since the start of the simulation.
+func (n *Network) EBGPExports(prefix bgp.Prefix) int { return n.ebgpExports[prefix] }
+
+// Trace returns the recorded forwarding trace for prefix (nil if tracing
+// was disabled for it).
+func (n *Network) Trace(prefix bgp.Prefix) *fwd.Trace {
+	return n.traces[prefix]
+}
+
+// snapshotDirty records a forwarding-state snapshot for every prefix whose
+// routing changed during the last event.
+func (n *Network) snapshotDirty() {
+	for p := range n.dirty {
+		delete(n.dirty, p)
+		tr := n.traces[p]
+		if tr == nil {
+			if !n.traceAll {
+				continue
+			}
+			tr = &fwd.Trace{}
+			n.traces[p] = tr
+		}
+		tr.Append(n.now.Seconds(), n.ForwardingState(p))
+	}
+}
+
+// RecordInitialState forces a snapshot of the current forwarding state for
+// prefix at the current time, typically called once converged to anchor a
+// trace before a reconfiguration starts.
+func (n *Network) RecordInitialState(prefix bgp.Prefix) {
+	tr := n.traces[prefix]
+	if tr == nil {
+		tr = &fwd.Trace{}
+		n.traces[prefix] = tr
+	}
+	tr.Append(n.now.Seconds(), n.ForwardingState(prefix))
+}
+
+// Clone deep-copies the entire network state (topology and options shared,
+// all mutable state copied), allowing what-if exploration. Pending events
+// are NOT copied; clone a converged network.
+func (n *Network) Clone() *Network {
+	if n.queue.Len() > 0 {
+		panic("sim: Clone requires a converged network")
+	}
+	c := New(n.graph, n.opts)
+	c.now = n.now
+	for i, r := range n.routers {
+		cr := c.routers[i]
+		for k, v := range r.sessions {
+			cr.sessions[k] = v
+		}
+		for dir, byNb := range r.maps {
+			for nb, rm := range byNb {
+				if rm == nil {
+					continue
+				}
+				crm := cr.ensureRouteMap(dir, nb)
+				for _, e := range rm.entries {
+					crm.Add(e)
+				}
+			}
+		}
+		for _, p := range r.adjIn.Prefixes() {
+			for _, nr := range r.adjIn.NeighborCandidates(p) {
+				cr.adjIn.Set(nr.Neighbor, nr.Route)
+			}
+		}
+		for _, p := range r.locRib.Prefixes() {
+			if rt, ok := r.locRib.Get(p); ok {
+				cr.locRib.Set(rt)
+			}
+		}
+		for nb, m := range r.adjOut {
+			cm := make(map[bgp.Prefix]bgp.Route, len(m))
+			for p, rt := range m {
+				cm[p] = rt
+			}
+			cr.adjOut[nb] = cm
+		}
+		for p, a := range r.originated {
+			cr.originated[p] = a
+		}
+		cr.aggRules = append(cr.aggRules, r.aggRules...)
+	}
+	return c
+}

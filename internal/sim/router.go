@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"slices"
+
+	"chameleon/internal/bgp"
+	"chameleon/internal/topology"
+)
+
+// router is the per-node BGP state.
+type router struct {
+	id       topology.NodeID
+	external bool
+
+	// sessions maps each BGP neighbor to this router's role towards it.
+	sessions map[topology.NodeID]bgp.SessionKind
+
+	// Route maps, per direction and neighbor.
+	maps map[Direction]map[topology.NodeID]*RouteMap
+
+	adjIn  *bgp.AdjIn  // raw routes as received, before ingress policy
+	locRib *bgp.LocRIB // selected route per prefix, after ingress policy
+
+	// adjOut records the last route sent to each neighbor per prefix, so
+	// exports can be diffed and withdrawals generated.
+	adjOut map[topology.NodeID]map[bgp.Prefix]bgp.Route
+
+	// originated holds the announcements of an external network.
+	originated map[bgp.Prefix]Announcement
+
+	// aggRules are the router's §8 border-aggregation rules.
+	aggRules []AggregateRule
+}
+
+// Announcement describes a route an external network originates.
+type Announcement struct {
+	Prefix    bgp.Prefix
+	ASPathLen int
+	MED       uint32
+}
+
+func newRouter(id topology.NodeID, external bool) *router {
+	return &router{
+		id:       id,
+		external: external,
+		sessions: make(map[topology.NodeID]bgp.SessionKind),
+		maps: map[Direction]map[topology.NodeID]*RouteMap{
+			In:  make(map[topology.NodeID]*RouteMap),
+			Out: make(map[topology.NodeID]*RouteMap),
+		},
+		adjIn:      bgp.NewAdjIn(),
+		locRib:     bgp.NewLocRIB(),
+		adjOut:     make(map[topology.NodeID]map[bgp.Prefix]bgp.Route),
+		originated: make(map[bgp.Prefix]Announcement),
+	}
+}
+
+func (r *router) routeMap(dir Direction, neighbor topology.NodeID) *RouteMap {
+	return r.maps[dir][neighbor]
+}
+
+func (r *router) ensureRouteMap(dir Direction, neighbor topology.NodeID) *RouteMap {
+	rm := r.maps[dir][neighbor]
+	if rm == nil {
+		rm = &RouteMap{}
+		r.maps[dir][neighbor] = rm
+	}
+	return rm
+}
+
+// neighbors returns the router's BGP neighbors sorted by ID.
+func (r *router) neighbors() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(r.sessions))
+	for n := range r.sessions {
+		out = append(out, n)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// ingressCandidates applies ingress policy to every Adj-RIB-In entry for
+// prefix and returns the admitted routes.
+func (r *router) ingressCandidates(prefix bgp.Prefix) []bgp.Route {
+	var out []bgp.Route
+	for _, nr := range r.adjIn.NeighborCandidates(prefix) {
+		route, ok := r.routeMap(In, nr.Neighbor).Apply(nr.Neighbor, nr.Route)
+		if !ok {
+			continue
+		}
+		out = append(out, route)
+	}
+	return out
+}
+
+// acceptable implements RFC 4456 / path loop checks on a received route.
+func (r *router) acceptable(route bgp.Route) bool {
+	if route.OriginatorID == r.id {
+		return false
+	}
+	if slices.Contains(route.ClusterList, r.id) {
+		return false
+	}
+	// Path loop: the route's propagation path must not already contain us
+	// before the final element (which is us, by Extend).
+	for _, n := range route.Path[:max(0, len(route.Path)-1)] {
+		if n == r.id {
+			return false
+		}
+	}
+	return true
+}
+
+// exportTo computes the route this router would advertise to neighbor for
+// prefix, applying the iBGP/eBGP/route-reflection export rules and the
+// egress route map. ok is false if nothing may be advertised.
+func (r *router) exportTo(neighbor topology.NodeID, prefix bgp.Prefix) (bgp.Route, bool) {
+	best, have := r.locRib.Get(prefix)
+	if !have {
+		return bgp.Route{}, false
+	}
+	toKind, connected := r.sessions[neighbor]
+	if !connected {
+		return bgp.Route{}, false
+	}
+	// Summary-only aggregation suppresses the contributors (§8).
+	if r.suppressed(prefix) {
+		return bgp.Route{}, false
+	}
+	// Never advertise a route back onto the session it was learned from.
+	learnedFrom := best.Pre()
+	if best.FromEBGP {
+		learnedFrom = best.External
+	}
+	if neighbor == learnedFrom {
+		return bgp.Route{}, false
+	}
+	// Never advertise to a neighbor already on the propagation path.
+	if slices.Contains(best.Path[:max(0, len(best.Path)-1)], neighbor) {
+		return bgp.Route{}, false
+	}
+
+	if toKind != bgp.EBGP {
+		// iBGP export rules.
+		switch {
+		case best.FromEBGP:
+			// eBGP-learned: advertise to every iBGP neighbor.
+		default:
+			fromKind := r.sessions[learnedFrom]
+			switch fromKind {
+			case bgp.IBGPClient:
+				// Learned from a client: reflect to all iBGP neighbors.
+			case bgp.IBGPPeer, bgp.IBGPUp:
+				// Learned from a non-client: send to clients only.
+				if toKind != bgp.IBGPClient {
+					return bgp.Route{}, false
+				}
+			case bgp.EBGP:
+				// Session kind changed under us; treat as eBGP-learned.
+			}
+		}
+	}
+
+	out := best.Extend(neighbor)
+	if toKind == bgp.EBGP {
+		// LOCAL_PREF is not propagated over eBGP; AS path grows.
+		out.LocalPref = bgp.DefaultLocalPref
+		out.ASPathLen++
+	} else if !best.FromEBGP {
+		// Reflection: record originator and extend the cluster list.
+		if out.OriginatorID == topology.None {
+			out.OriginatorID = best.Egress
+		}
+		out.ClusterList = append(out.ClusterList, r.id)
+	}
+	out, ok := r.routeMap(Out, neighbor).Apply(neighbor, out)
+	if !ok {
+		return bgp.Route{}, false
+	}
+	return out, true
+}

@@ -1,0 +1,416 @@
+package sim_test
+
+import (
+	"testing"
+
+	"chameleon/internal/bgp"
+	"chameleon/internal/fwd"
+	"chameleon/internal/scenario"
+	"chameleon/internal/sim"
+	"chameleon/internal/topology"
+)
+
+// consistent checks §3 routing-state consistency: if node n selects
+// ρ = [d, n1, …, ni, n] then ni selects [d, n1, …, ni].
+func consistent(net *sim.Network, prefix bgp.Prefix) bool {
+	routes, have := net.RoutingState(prefix)
+	for _, n := range net.Graph().Internal() {
+		if !have[n] {
+			continue
+		}
+		r := routes[n]
+		pre := r.Pre()
+		if pre == topology.None {
+			continue // learned over eBGP at the egress
+		}
+		if !have[pre] {
+			return false
+		}
+		pr := routes[pre]
+		if !pr.SameAnnouncement(r) || len(pr.Path) != len(r.Path)-1 {
+			return false
+		}
+		for i := range pr.Path {
+			if pr.Path[i] != r.Path[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRunningExampleInitialState(t *testing.T) {
+	s := scenario.RunningExample()
+	net := s.Net
+	if !net.Converged() {
+		t.Fatal("network did not converge")
+	}
+	for _, n := range net.Graph().Internal() {
+		best, ok := net.Best(n, s.Prefix)
+		if !ok {
+			t.Fatalf("node %d has no route", n)
+		}
+		if best.Egress != s.E1 {
+			t.Errorf("node %d selects egress %d, want %d (ρ1, lp 200)", n, best.Egress, s.E1)
+		}
+		if best.LocalPref != 200 {
+			t.Errorf("node %d has lp %d, want 200", n, best.LocalPref)
+		}
+	}
+	if !consistent(net, s.Prefix) {
+		t.Error("initial routing state inconsistent")
+	}
+	st := net.ForwardingState(s.Prefix)
+	for _, n := range net.Graph().Internal() {
+		if !st.Reach(n) {
+			t.Errorf("node %d cannot reach d", n)
+		}
+	}
+	if st[s.E1] != fwd.External {
+		t.Errorf("egress next hop = %d, want External", st[s.E1])
+	}
+}
+
+func TestRunningExampleReconfiguration(t *testing.T) {
+	s := scenario.RunningExample()
+	s.Commands[0].Apply(s.Net)
+	s.Net.Run()
+	n6 := s.Graph.MustNode("n6")
+	for _, n := range s.Net.Graph().Internal() {
+		best, ok := s.Net.Best(n, s.Prefix)
+		if !ok {
+			t.Fatalf("node %d lost its route", n)
+		}
+		if best.Egress != n6 {
+			t.Errorf("node %d selects egress %d, want n6=%d", n, best.Egress, n6)
+		}
+	}
+	if !consistent(s.Net, s.Prefix) {
+		t.Error("final routing state inconsistent")
+	}
+}
+
+func TestDeterminismForFixedSeed(t *testing.T) {
+	a := scenario.RunningExample()
+	b := scenario.RunningExample()
+	if a.Net.MessagesProcessed() != b.Net.MessagesProcessed() {
+		t.Errorf("same seed processed %d vs %d messages",
+			a.Net.MessagesProcessed(), b.Net.MessagesProcessed())
+	}
+	sa := a.Net.ForwardingState(a.Prefix)
+	sb := b.Net.ForwardingState(b.Prefix)
+	if !sa.Equal(sb) {
+		t.Error("same seed produced different forwarding states")
+	}
+}
+
+func TestRouteReflectionPropagation(t *testing.T) {
+	s := scenario.RunningExample()
+	n3 := s.Graph.MustNode("n3")
+	best, ok := s.Net.Best(n3, s.Prefix)
+	if !ok {
+		t.Fatal("n3 has no route")
+	}
+	// n3 is a client: it must have learned ρ1 via one of the reflectors.
+	pre := best.Pre()
+	n2, n5 := s.Graph.MustNode("n2"), s.Graph.MustNode("n5")
+	if pre != n2 && pre != n5 {
+		t.Errorf("n3 learned route from %d, want a reflector (%d or %d)", pre, n2, n5)
+	}
+	// n3 must know the route from *both* reflectors (redundancy, §3).
+	cands := s.Net.Candidates(n3, s.Prefix)
+	if len(cands) != 2 {
+		t.Errorf("n3 has %d candidates, want 2 (one per reflector)", len(cands))
+	}
+}
+
+func TestClientsDoNotReflect(t *testing.T) {
+	s := scenario.RunningExample()
+	// n4 (a client) must never have learned a route from another client.
+	n1, n4 := s.Graph.MustNode("n1"), s.Graph.MustNode("n4")
+	for _, r := range s.Net.Candidates(n4, s.Prefix) {
+		if r.Pre() == n1 {
+			t.Errorf("n4 learned a route directly from client n1: %v", r)
+		}
+	}
+}
+
+func TestTemporarysessionGivesDirectRoute(t *testing.T) {
+	s := scenario.RunningExample()
+	n1, n4 := s.Graph.MustNode("n1"), s.Graph.MustNode("n4")
+	s.Net.SetSession(n4, n1, bgp.IBGPPeer)
+	s.Net.Run()
+	found := false
+	for _, r := range s.Net.Candidates(n4, s.Prefix) {
+		if r.Pre() == n1 && len(r.Path) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("n4 did not learn the direct route over the temporary session")
+	}
+}
+
+func TestWeightPinsSelection(t *testing.T) {
+	s := scenario.RunningExample()
+	n3, n2 := s.Graph.MustNode("n3"), s.Graph.MustNode("n2")
+	// Pin n3's selection to the route from reflector n2 regardless of IGP
+	// cost (weight dominates every other attribute).
+	s.Net.UpdateRouteMap(n3, n2, sim.In, func(rm *sim.RouteMap) {
+		rm.Add(sim.Entry{Order: 1, Match: sim.Match{Neighbor: sim.NodeP(n2)},
+			Action: sim.Action{SetWeight: sim.IntP(1000)}})
+	})
+	s.Net.Run()
+	best, _ := s.Net.Best(n3, s.Prefix)
+	if best.Pre() != n2 {
+		t.Errorf("n3 selects route from %d, want pinned %d", best.Pre(), n2)
+	}
+	// Weight is local: n6's state must be unaffected by n3's pin.
+	if !consistent(s.Net, s.Prefix) {
+		t.Error("pinning between equivalent routes broke consistency")
+	}
+}
+
+func TestWithdrawPropagates(t *testing.T) {
+	s := scenario.RunningExample()
+	ext6 := s.Graph.MustNode("ext6")
+	s.Net.WithdrawExternalRoute(ext6, s.Prefix)
+	s.Net.Run()
+	// ρ6 must be gone everywhere; everyone still has ρ1.
+	for _, n := range s.Net.Graph().Internal() {
+		for _, r := range s.Net.Candidates(n, s.Prefix) {
+			if r.Egress == s.Graph.MustNode("n6") {
+				t.Errorf("node %d still knows withdrawn route %v", n, r)
+			}
+		}
+		if _, ok := s.Net.Best(n, s.Prefix); !ok {
+			t.Errorf("node %d lost ρ1 too", n)
+		}
+	}
+}
+
+func TestSessionRemovalWithdrawsRoutes(t *testing.T) {
+	s := scenario.RunningExample()
+	n1, ext1 := s.Graph.MustNode("n1"), s.Graph.MustNode("ext1")
+	s.Net.RemoveSession(n1, ext1)
+	s.Net.Run()
+	n6 := s.Graph.MustNode("n6")
+	for _, n := range s.Net.Graph().Internal() {
+		best, ok := s.Net.Best(n, s.Prefix)
+		if !ok {
+			t.Fatalf("node %d has no route after session removal", n)
+		}
+		if best.Egress != n6 {
+			t.Errorf("node %d egress = %d, want %d", n, best.Egress, n6)
+		}
+	}
+}
+
+func TestLinkFailureReroutesForwarding(t *testing.T) {
+	s := scenario.RunningExample()
+	n4, n1 := s.Graph.MustNode("n4"), s.Graph.MustNode("n1")
+	before := s.Net.ForwardingState(s.Prefix)
+	if before[n4] != n1 {
+		t.Fatalf("precondition: n4 forwards to %d, want n1=%d", before[n4], n1)
+	}
+	if !s.Net.FailLink(n4, n1) {
+		t.Fatal("FailLink failed")
+	}
+	s.Net.Run()
+	after := s.Net.ForwardingState(s.Prefix)
+	if after[n4] == n1 {
+		t.Error("n4 still forwards over the failed link")
+	}
+	if !after.Reach(n4) {
+		t.Error("n4 lost reachability despite an alternate path")
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	s := scenario.RunningExample()
+	tr := s.Net.Trace(s.Prefix)
+	if tr == nil || len(tr.States) == 0 {
+		t.Fatal("no trace recorded")
+	}
+	final := tr.States[len(tr.States)-1]
+	if !final.Equal(s.Net.ForwardingState(s.Prefix)) {
+		t.Error("last trace state differs from live state")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := scenario.RunningExample()
+	c := s.Net.Clone()
+	if !c.ForwardingState(s.Prefix).Equal(s.Net.ForwardingState(s.Prefix)) {
+		t.Fatal("clone differs from source")
+	}
+	s.Commands[0].Apply(c)
+	c.Run()
+	n6 := s.Graph.MustNode("n6")
+	if best, _ := c.Best(s.Graph.MustNode("n1"), s.Prefix); best.Egress != n6 {
+		t.Error("clone did not reconfigure")
+	}
+	if best, _ := s.Net.Best(s.Graph.MustNode("n1"), s.Prefix); best.Egress != s.E1 {
+		t.Error("reconfiguring the clone affected the original")
+	}
+}
+
+func TestEBGPExportHappens(t *testing.T) {
+	s := scenario.RunningExample()
+	// ext6 must have received ρ1 (the network's best) over eBGP.
+	if s.Net.EBGPExports(s.Prefix) == 0 {
+		t.Error("no routes were exported to external peers")
+	}
+}
+
+func TestCaseStudyAbilene(t *testing.T) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range s.Net.Graph().Internal() {
+		best, ok := s.Net.Best(n, s.Prefix)
+		if !ok {
+			t.Fatalf("node %d has no route", n)
+		}
+		if best.Egress != s.E1 {
+			t.Errorf("node %d initially selects %d, want e1=%d", n, best.Egress, s.E1)
+		}
+	}
+	if !consistent(s.Net, s.Prefix) {
+		t.Error("initial state inconsistent")
+	}
+	// Apply the original command: everyone must leave e1.
+	s.Commands[0].Apply(s.Net)
+	s.Net.Run()
+	for _, n := range s.Net.Graph().Internal() {
+		best, ok := s.Net.Best(n, s.Prefix)
+		if !ok {
+			t.Fatalf("node %d has no route after reconfiguration", n)
+		}
+		if best.Egress == s.E1 {
+			t.Errorf("node %d still uses e1", n)
+		}
+		if best.Egress != s.E2 && best.Egress != s.E3 {
+			t.Errorf("node %d egress %d is neither e2 nor e3", n, best.Egress)
+		}
+	}
+	if !consistent(s.Net, s.Prefix) {
+		t.Error("final state inconsistent")
+	}
+}
+
+func TestCaseStudyConsistencyAcrossCorpusSample(t *testing.T) {
+	for _, name := range []string{"Compuserve", "Sprint", "EEnet", "Aarnet", "Agis"} {
+		s, err := scenario.CaseStudy(name, scenario.Config{Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !consistent(s.Net, s.Prefix) {
+			t.Errorf("%s: inconsistent converged state", name)
+		}
+		st := s.Net.ForwardingState(s.Prefix)
+		for _, n := range s.Net.Graph().Internal() {
+			if !st.Reach(n) {
+				t.Errorf("%s: node %d unreachable", name, n)
+			}
+		}
+	}
+}
+
+func TestFinalNetwork(t *testing.T) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := s.FinalNetwork()
+	// Original must still be in the initial state.
+	if best, _ := s.Net.Best(s.E2, s.Prefix); best.Egress != s.E1 {
+		t.Error("FinalNetwork mutated the original")
+	}
+	if best, _ := final.Best(s.E2, s.Prefix); best.Egress == s.E1 {
+		t.Error("final network still uses e1")
+	}
+}
+
+func TestSessionRemovalDropsInFlightMessages(t *testing.T) {
+	s := scenario.RunningExample()
+	n1, ext1 := s.Graph.MustNode("n1"), s.Graph.MustNode("ext1")
+	// Trigger an announcement, then remove the session before delivery.
+	s.Net.WithdrawExternalRoute(ext1, s.Prefix)
+	s.Net.RemoveSession(n1, ext1)
+	s.Net.Run() // the in-flight withdraw towards n1 must be discarded safely
+	if _, ok := s.Net.Best(n1, s.Prefix); !ok {
+		// n1 already dropped state synchronously during RemoveSession —
+		// either way it must end on ρ6.
+	}
+	n6 := s.Graph.MustNode("n6")
+	best, ok := s.Net.Best(n1, s.Prefix)
+	if !ok || best.Egress != n6 {
+		t.Errorf("n1 best = %v, %v; want egress n6", best, ok)
+	}
+}
+
+func TestRouteMapDenyIngress(t *testing.T) {
+	s := scenario.RunningExample()
+	n3, n2, n5 := s.Graph.MustNode("n3"), s.Graph.MustNode("n2"), s.Graph.MustNode("n5")
+	// Deny everything from n2 at n3: n3 must fall back to n5's route.
+	s.Net.UpdateRouteMap(n3, n2, sim.In, func(rm *sim.RouteMap) {
+		rm.Add(sim.Entry{Order: 1, Match: sim.Match{Neighbor: sim.NodeP(n2)},
+			Action: sim.Action{Deny: true}})
+	})
+	s.Net.Run()
+	best, ok := s.Net.Best(n3, s.Prefix)
+	if !ok {
+		t.Fatal("n3 lost all routes")
+	}
+	if best.Pre() != n5 {
+		t.Errorf("n3 selects from %d, want n5=%d", best.Pre(), n5)
+	}
+}
+
+// TestMatchByEgress reproduces Chameleon's core mechanism chain: weight-pin
+// the egress to its own eBGP route so the new route becomes visible, open a
+// temporary session for direct visibility, then weight-pin the client.
+func TestMatchByEgress(t *testing.T) {
+	s := scenario.RunningExample()
+	n3, n6 := s.Graph.MustNode("n3"), s.Graph.MustNode("n6")
+	ext6 := s.Graph.MustNode("ext6")
+	// Step 1: n6 prefers its own eBGP route ρ6 (weight is local, so the
+	// rest of the network keeps ρ1 with lp 200).
+	s.Net.UpdateRouteMap(n6, ext6, sim.In, func(rm *sim.RouteMap) {
+		rm.Add(sim.Entry{Order: 2, Match: sim.Match{Egress: sim.NodeP(n6)},
+			Action: sim.Action{SetWeight: sim.IntP(900)}})
+	})
+	s.Net.Run()
+	if best, _ := s.Net.Best(n6, s.Prefix); best.Egress != n6 {
+		t.Fatalf("n6 egress = %d, want itself", best.Egress)
+	}
+	// The reflectors must still select ρ1: weight must not propagate.
+	n2 := s.Graph.MustNode("n2")
+	if best, _ := s.Net.Best(n2, s.Prefix); best.Egress != s.E1 {
+		t.Fatalf("weight leaked: n2 egress = %d", best.Egress)
+	}
+	// Step 2: temporary session n3–n6 gives n3 direct visibility of ρ6.
+	s.Net.SetSession(n3, n6, bgp.IBGPPeer)
+	// Step 3: n3 prefers any route with egress n6.
+	s.Net.UpdateRouteMap(n3, n6, sim.In, func(rm *sim.RouteMap) {
+		rm.Add(sim.Entry{Order: 2, Match: sim.Match{Egress: sim.NodeP(n6)},
+			Action: sim.Action{SetWeight: sim.IntP(900)}})
+	})
+	s.Net.Run()
+	best, _ := s.Net.Best(n3, s.Prefix)
+	if best.Egress != n6 {
+		t.Errorf("n3 egress = %d, want n6=%d despite lower lp", best.Egress, n6)
+	}
+}
+
+func TestTableSizeTracking(t *testing.T) {
+	s := scenario.RunningExample()
+	if s.Net.TableEntries() == 0 {
+		t.Error("converged network should hold routes")
+	}
+	if s.Net.MaxTableEntries() < s.Net.TableEntries() {
+		t.Error("max table entries below current")
+	}
+}

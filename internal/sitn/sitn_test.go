@@ -1,0 +1,99 @@
+package sitn_test
+
+import (
+	"testing"
+
+	"chameleon/internal/scenario"
+	"chameleon/internal/sitn"
+)
+
+func dual(t *testing.T) (*scenario.Scenario, *sitn.DualPlane) {
+	t.Helper()
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sitn.NewDualPlane(s.Net, s.FinalNetwork(), s.Prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func TestDualPlaneTableDuplication(t *testing.T) {
+	s, d := dual(t)
+	oldOnly := s.Net.TableEntries()
+	total := d.TableEntries()
+	// SITN runs both control planes: entries ≈ double the baseline (the
+	// paper reports 96% overhead in the median).
+	if total < oldOnly+oldOnly/2 {
+		t.Errorf("dual-plane entries %d vs single %d: duplication missing", total, oldOnly)
+	}
+}
+
+func TestMigrationKeepsReachability(t *testing.T) {
+	s, d := dual(t)
+	states, err := d.Migrate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) < 2 {
+		t.Fatal("no migration steps")
+	}
+	for i, st := range states {
+		if st.HasLoop() {
+			t.Errorf("state %d has a forwarding loop", i)
+		}
+		for _, n := range s.Graph.Internal() {
+			if !st.Reach(n) {
+				t.Errorf("state %d: node %d unreachable", i, n)
+			}
+		}
+	}
+	// Final combined state equals the new plane's state.
+	final := states[len(states)-1]
+	if !final.Equal(d.New.ForwardingState(s.Prefix)) {
+		t.Error("migration did not reach the new plane's forwarding state")
+	}
+}
+
+func TestMigrationOrderActivatesOnlyChangingRouters(t *testing.T) {
+	s, d := dual(t)
+	order, err := d.MigrationOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldSt := s.Net.ForwardingState(s.Prefix)
+	newSt := d.New.ForwardingState(s.Prefix)
+	for _, n := range order {
+		if oldSt[n] == newSt[n] {
+			t.Errorf("router %d in order despite unchanged next hop", n)
+		}
+	}
+}
+
+func TestNewDualPlaneValidation(t *testing.T) {
+	s, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := scenario.CaseStudy("Sprint", scenario.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sitn.NewDualPlane(s.Net, other.Net, s.Prefix); err == nil {
+		t.Fatal("mismatched topologies accepted")
+	}
+}
+
+func TestOverheadMetric(t *testing.T) {
+	s, d := dual(t)
+	base := s.Net.TableEntries()
+	ov := sitn.Overhead(d, base)
+	if ov <= 0.5 {
+		t.Errorf("overhead = %v, want close to 1 (≈ doubling)", ov)
+	}
+	if sitn.Overhead(d, 0) != 0 {
+		t.Error("zero baseline must yield zero overhead")
+	}
+}

@@ -1,0 +1,329 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"chameleon/internal/topology"
+)
+
+// Resolver maps node names appearing in a specification to node IDs.
+type Resolver func(name string) (topology.NodeID, error)
+
+// GraphResolver adapts a topology graph into a Resolver.
+func GraphResolver(g *topology.Graph) Resolver {
+	return func(name string) (topology.NodeID, error) {
+		if id, ok := g.NodeByName(name); ok {
+			return id, nil
+		}
+		return topology.None, fmt.Errorf("unknown node %q", name)
+	}
+}
+
+// Parse parses the surface syntax of Fig. 2 into a Spec. Grammar, loosest
+// binding first:
+//
+//	orExpr   := andExpr   { ("||" | "or") andExpr }
+//	andExpr  := untilExpr { ("&&" | "and") untilExpr }
+//	untilExpr:= unary     { ("U"|"R"|"W"|"M") unary }   (right-associative)
+//	unary    := ("!"|"not") unary | ("G"|"F"|"N"|"X") unary | atom
+//	atom     := "reach" "(" name ")" | "wp" "(" name "," name ")"
+//	          | "exits" "(" name "," name ")"
+//	          | "true" | "false" | "(" orExpr ")"
+//
+// Examples: "G reach(a)", "wp(a, fw) U G wp(a, e2)", "!(reach(a) && reach(b))".
+func Parse(input string, resolve Resolver) (*Spec, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, b: NewBuilder(), resolve: resolve}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("spec: unexpected trailing input %q", p.peek().text)
+	}
+	return NewSpec(p.b, root), nil
+}
+
+// MustParse is Parse but panics on error, for tests and examples.
+func MustParse(input string, resolve Resolver) *Spec {
+	s, err := Parse(input, resolve)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokLParen
+	tokRParen
+	tokComma
+	tokAnd
+	tokOr
+	tokNot
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c, size := utf8.DecodeRuneInString(input[i:])
+		switch {
+		case unicode.IsSpace(c):
+			i += size
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '!' || c == '¬':
+			toks = append(toks, token{tokNot, "!", i})
+			i += size
+		case strings.HasPrefix(input[i:], "&&"):
+			toks = append(toks, token{tokAnd, "&&", i})
+			i += 2
+		case c == '∧':
+			toks = append(toks, token{tokAnd, "&&", i})
+			i += size
+		case strings.HasPrefix(input[i:], "||"):
+			toks = append(toks, token{tokOr, "||", i})
+			i += 2
+		case c == '∨':
+			toks = append(toks, token{tokOr, "||", i})
+			i += size
+		case unicode.IsLetter(c) || c == '_' || unicode.IsDigit(c):
+			j := i
+			for j < len(input) {
+				r, rs := utf8.DecodeRuneInString(input[j:])
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+					break
+				}
+				j += rs
+			}
+			word := input[i:j]
+			switch word {
+			case "and":
+				toks = append(toks, token{tokAnd, word, i})
+			case "or":
+				toks = append(toks, token{tokOr, word, i})
+			case "not":
+				toks = append(toks, token{tokNot, word, i})
+			default:
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		default:
+			return nil, fmt.Errorf("spec: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}
+
+type parser struct {
+	toks    []token
+	pos     int
+	b       *Builder
+	resolve Resolver
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) eof() bool   { return p.peek().kind == tokEOF }
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("spec: expected %s at %d, got %q", what, t.pos, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseOr() (*Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = p.b.Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (*Expr, error) {
+	left, err := p.parseUntil()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.parseUntil()
+		if err != nil {
+			return nil, err
+		}
+		left = p.b.And(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseUntil() (*Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokIdent {
+		var build func(a, b *Expr) *Expr
+		switch t.text {
+		case "U":
+			build = p.b.Until
+		case "R":
+			build = p.b.Release
+		case "W":
+			build = p.b.WeakUntil
+		case "M":
+			build = p.b.StrongRelease
+		}
+		if build != nil {
+			p.next()
+			right, err := p.parseUntil() // right-associative
+			if err != nil {
+				return nil, err
+			}
+			return build(left, right), nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (*Expr, error) {
+	t := p.peek()
+	if t.kind == tokNot {
+		p.next()
+		a, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return p.b.Not(a), nil
+	}
+	if t.kind == tokIdent {
+		switch t.text {
+		case "G":
+			p.next()
+			a, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return p.b.Globally(a), nil
+		case "F":
+			p.next()
+			a, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return p.b.Finally(a), nil
+		case "N", "X":
+			p.next()
+			a, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return p.b.Next(a), nil
+		}
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (*Expr, error) {
+	t := p.next()
+	switch t.kind {
+	case tokLParen:
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return p.b.True(), nil
+		case "false":
+			return p.b.False(), nil
+		case "reach":
+			if _, err := p.expect(tokLParen, "("); err != nil {
+				return nil, err
+			}
+			name, err := p.expect(tokIdent, "node name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return nil, err
+			}
+			id, err := p.resolve(name.text)
+			if err != nil {
+				return nil, fmt.Errorf("spec: %w", err)
+			}
+			return p.b.Reach(id), nil
+		case "wp", "exits":
+			build := p.b.Wp
+			if t.text == "exits" {
+				build = p.b.Exits
+			}
+			if _, err := p.expect(tokLParen, "("); err != nil {
+				return nil, err
+			}
+			src, err := p.expect(tokIdent, "node name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokComma, ","); err != nil {
+				return nil, err
+			}
+			via, err := p.expect(tokIdent, "waypoint name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, ")"); err != nil {
+				return nil, err
+			}
+			srcID, err := p.resolve(src.text)
+			if err != nil {
+				return nil, fmt.Errorf("spec: %w", err)
+			}
+			viaID, err := p.resolve(via.text)
+			if err != nil {
+				return nil, fmt.Errorf("spec: %w", err)
+			}
+			return build(srcID, viaID), nil
+		}
+		return nil, fmt.Errorf("spec: unexpected identifier %q at %d", t.text, t.pos)
+	}
+	return nil, fmt.Errorf("spec: unexpected token %q at %d", t.text, t.pos)
+}

@@ -1,0 +1,304 @@
+package spec
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"chameleon/internal/fwd"
+	"chameleon/internal/topology"
+)
+
+func namesResolver(names ...string) Resolver {
+	m := make(map[string]topology.NodeID)
+	for i, n := range names {
+		m[n] = topology.NodeID(i)
+	}
+	return func(name string) (topology.NodeID, error) {
+		if id, ok := m[name]; ok {
+			return id, nil
+		}
+		return topology.None, fmt.Errorf("unknown node %q", name)
+	}
+}
+
+// Simple 3-node line states: 0 -> 1 -> 2 -> d.
+var (
+	stAll    = fwd.State{1, 2, fwd.External}        // everyone reaches
+	stDrop0  = fwd.State{fwd.Drop, 2, fwd.External} // 0 drops
+	stDirect = fwd.State{2, 2, fwd.External}        // 0 skips 1
+)
+
+func TestParseAndEvalBasics(t *testing.T) {
+	r := namesResolver("a", "b", "c")
+	cases := []struct {
+		in    string
+		trace []fwd.State
+		want  bool
+	}{
+		{"reach(a)", []fwd.State{stAll}, true},
+		{"reach(a)", []fwd.State{stDrop0}, false},
+		{"reach(b)", []fwd.State{stDrop0}, true},
+		{"wp(a, b)", []fwd.State{stAll}, true},
+		{"wp(a, b)", []fwd.State{stDirect}, false},
+		{"wp(a, a)", []fwd.State{stAll}, true},
+		{"true", []fwd.State{stDrop0}, true},
+		{"false", []fwd.State{stAll}, false},
+		{"reach(a) && reach(b)", []fwd.State{stAll}, true},
+		{"reach(a) && reach(b)", []fwd.State{stDrop0}, false},
+		{"reach(a) || reach(b)", []fwd.State{stDrop0}, true},
+		{"!reach(a)", []fwd.State{stDrop0}, true},
+		{"not reach(a) and reach(b)", []fwd.State{stDrop0}, true},
+		{"G reach(b)", []fwd.State{stAll, stDrop0, stAll}, true},
+		{"G reach(a)", []fwd.State{stAll, stDrop0, stAll}, false},
+		{"F reach(a)", []fwd.State{stDrop0, stDrop0, stAll}, true},
+		{"F reach(a)", []fwd.State{stDrop0, stDrop0}, false},
+		{"N reach(a)", []fwd.State{stDrop0, stAll}, true},
+		{"X reach(a)", []fwd.State{stAll, stDrop0}, false},
+		// wp(a,b) holds, then a switches to direct; U requires the switch.
+		{"wp(a, b) U G wp(a, c)", []fwd.State{stAll, stAll, stDirect}, true},
+		{"wp(a, b) U G wp(a, c)", []fwd.State{stDirect}, true}, // immediately satisfied
+		{"wp(a, b) U G reach(a)", []fwd.State{stDrop0}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.in, func(t *testing.T) {
+			s, err := Parse(tc.in, r)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if got := s.Eval(tc.trace); got != tc.want {
+				t.Errorf("Eval(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	r := namesResolver("a")
+	bad := []string{
+		"", "reach", "reach(", "reach(a", "reach(zz)", "wp(a)", "wp(a,)",
+		"reach(a) &&", "(reach(a)", "reach(a))", "@", "U reach(a)",
+		"reach(a) Q reach(a)",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in, r); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	r := namesResolver("a", "b", "c")
+	// ! binds tighter than &&, && tighter than ||.
+	s := MustParse("!reach(a) && reach(b) || reach(c)", r)
+	// With stDrop0: !reach(a)=T, reach(b)=T -> T || ... = T
+	if !s.Eval([]fwd.State{stDrop0}) {
+		t.Error("precedence broken for !/&&/||")
+	}
+	// U binds tighter than &&: "a U b && c" = (a U b) && c.
+	s2 := MustParse("reach(b) U reach(a) && reach(c)", r)
+	if !s2.Eval([]fwd.State{stAll}) {
+		t.Error("U/&& precedence broken")
+	}
+}
+
+func TestDAGDeduplication(t *testing.T) {
+	r := namesResolver("a", "b")
+	s := MustParse("G reach(a) && (G reach(a) || reach(b))", r)
+	// Expressions: reach(a), G reach(a), reach(b), or, and = 5 nodes, with
+	// G reach(a) shared.
+	if n := len(s.Exprs()); n != 5 {
+		t.Errorf("DAG has %d nodes, want 5 (dedup failed?)", n)
+	}
+}
+
+func TestTemporalDepth(t *testing.T) {
+	r := namesResolver("a", "b")
+	cases := map[string]int{
+		"reach(a)":                   0,
+		"G reach(a)":                 1,
+		"wp(a, b) U G wp(a, b)":      2,
+		"G (reach(a) && F reach(b))": 2,
+		"reach(a) && reach(b)":       0,
+	}
+	for in, want := range cases {
+		s := MustParse(in, r)
+		if got := s.TemporalDepth(); got != want {
+			t.Errorf("TemporalDepth(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestUnicodeOperators(t *testing.T) {
+	r := namesResolver("a", "b")
+	s := MustParse("reach(a) ∧ ¬reach(b) ∨ reach(a)", r)
+	if !s.Eval([]fwd.State{stAll}) {
+		t.Error("unicode operators broken")
+	}
+}
+
+func TestEvalAllSuffixSemantics(t *testing.T) {
+	r := namesResolver("a", "b", "c")
+	s := MustParse("F reach(a)", r)
+	all := s.EvalAll([]fwd.State{stDrop0, stAll, stDrop0})
+	// At k=0: reach(a) eventually (k=1) -> true. k=1: true. k=2: last
+	// state persists with a dropping -> false.
+	want := []bool{true, true, false}
+	for k := range want {
+		if all[k] != want[k] {
+			t.Errorf("EvalAll[%d] = %v, want %v", k, all[k], want[k])
+		}
+	}
+	if got := s.FirstViolation([]fwd.State{stDrop0, stAll, stDrop0}); got != 2 {
+		t.Errorf("FirstViolation = %d, want 2", got)
+	}
+	if got := s.FirstViolation([]fwd.State{stAll}); got != -1 {
+		t.Errorf("FirstViolation = %d, want -1", got)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	r := namesResolver("a")
+	s := MustParse("reach(a)", r)
+	if s.Eval(nil) {
+		t.Error("empty trace must not satisfy anything")
+	}
+}
+
+func TestWeakUntilAndRelease(t *testing.T) {
+	r := namesResolver("a", "b", "c")
+	// W: holds if G left even when right never occurs.
+	s := MustParse("reach(b) W reach(a)", r)
+	if !s.Eval([]fwd.State{stDrop0, stDrop0}) {
+		t.Error("W must accept globally-left traces")
+	}
+	u := MustParse("reach(b) U reach(a)", r)
+	if u.Eval([]fwd.State{stDrop0, stDrop0}) {
+		t.Error("U must reject when right never holds")
+	}
+	// R: right must hold up to and including when left first holds.
+	rel := MustParse("reach(a) R reach(b)", r)
+	if !rel.Eval([]fwd.State{stDrop0, stAll}) {
+		t.Error("R broken: b holds throughout, a releases at 1")
+	}
+	// M (strong release): additionally requires left to eventually hold.
+	m := MustParse("reach(a) M reach(b)", r)
+	if m.Eval([]fwd.State{stDrop0, stDrop0}) {
+		t.Error("M must reject when left never holds")
+	}
+	if !m.Eval([]fwd.State{stDrop0, stAll}) {
+		t.Error("M broken: b throughout, a at 1")
+	}
+}
+
+// TestLTLDualities property-checks classic equivalences on random traces:
+// ¬(φ U ψ) ≡ ¬φ R ¬ψ, F φ ≡ true U φ, G φ ≡ false R φ,
+// φ W ψ ≡ (φ U ψ) ∨ G φ, φ M ψ ≡ (φ R ψ) ∧ F φ.
+func TestLTLDualities(t *testing.T) {
+	r := namesResolver("a", "b", "c")
+	pairs := [][2]string{
+		{"!(reach(a) U reach(b))", "!reach(a) R !reach(b)"},
+		{"F reach(a)", "true U reach(a)"},
+		{"G reach(a)", "false R reach(a)"},
+		{"reach(a) W reach(b)", "(reach(a) U reach(b)) || G reach(a)"},
+		{"reach(a) M reach(b)", "(reach(a) R reach(b)) && F reach(a)"},
+		{"!G reach(a)", "F !reach(a)"},
+		{"N (reach(a) && reach(b))", "N reach(a) && N reach(b)"},
+	}
+	states := []fwd.State{stAll, stDrop0, stDirect,
+		{fwd.Drop, fwd.Drop, fwd.External}, {1, fwd.Drop, fwd.External}}
+	gen := func(seed uint64) []fwd.State {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		n := rng.IntN(6) + 1
+		tr := make([]fwd.State, n)
+		for i := range tr {
+			tr[i] = states[rng.IntN(len(states))]
+		}
+		return tr
+	}
+	for _, pair := range pairs {
+		lhs := MustParse(pair[0], r)
+		rhs := MustParse(pair[1], r)
+		f := func(seed uint64) bool {
+			tr := gen(seed)
+			return lhs.Eval(tr) == rhs.Eval(tr)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("duality %q vs %q: %v", pair[0], pair[1], err)
+		}
+	}
+}
+
+func TestGraphResolver(t *testing.T) {
+	g := topology.New("t")
+	g.AddRouter("alpha")
+	r := GraphResolver(g)
+	if id, err := r("alpha"); err != nil || id != 0 {
+		t.Errorf("resolve alpha = %v, %v", id, err)
+	}
+	if _, err := r("beta"); err == nil {
+		t.Error("resolve beta should fail")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	r := namesResolver("a", "b")
+	inputs := []string{
+		"G reach(a)",
+		"wp(a, b) U G wp(a, b)",
+		"!(reach(a) || reach(b))",
+	}
+	for _, in := range inputs {
+		s := MustParse(in, r)
+		// Render and re-parse with a numeric resolver; evaluation must
+		// agree on a sample trace.
+		rendered := s.String()
+		numeric := func(name string) (topology.NodeID, error) {
+			var id int
+			if _, err := fmt.Sscanf(name, "%d", &id); err != nil {
+				return topology.None, err
+			}
+			return topology.NodeID(id), nil
+		}
+		s2, err := Parse(rendered, numeric)
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", rendered, in, err)
+		}
+		for _, tr := range [][]fwd.State{{stAll}, {stDrop0, stAll}, {stDirect, stDrop0}} {
+			if s.Eval(tr) != s2.Eval(tr) {
+				t.Errorf("round-trip changed semantics for %q", in)
+			}
+		}
+	}
+}
+
+func TestExitsPredicate(t *testing.T) {
+	r := namesResolver("a", "b", "c")
+	// Node 0 is itself an egress here: 0→d directly.
+	stSelf := fwd.State{fwd.External, 2, fwd.External}
+	// stAll: 0->1->2->d. Node 0 exits at 2.
+	cases := []struct {
+		in   string
+		st   fwd.State
+		want bool
+	}{
+		{"exits(a, c)", stAll, true},
+		{"exits(a, b)", stAll, false},
+		{"exits(c, c)", stAll, true},
+		{"exits(a, a)", stSelf, true},   // 0 exits at itself
+		{"exits(a, c)", stDirect, true}, // 0 skips 1, still exits at 2
+		{"exits(a, a)", stDrop0, false}, // dropped traffic exits nowhere
+	}
+	for _, tc := range cases {
+		s := MustParse(tc.in, r)
+		if got := s.Eval([]fwd.State{tc.st}); got != tc.want {
+			t.Errorf("%s on %v = %v, want %v", tc.in, tc.st, got, tc.want)
+		}
+	}
+	// Temporal combination: exits via c until globally exits at itself.
+	s := MustParse("exits(a, c) U G exits(a, a)", r)
+	if !s.Eval([]fwd.State{stAll, stAll, stSelf}) {
+		t.Error("temporal exits combination broken")
+	}
+}

@@ -1,0 +1,43 @@
+package topology
+
+// Abilene returns the 11-node Abilene (Internet2) backbone used by the
+// paper's case study (§6, Fig. 1, Fig. 6). Link weights approximate the
+// historical Abilene IGP metrics scaled to small integers; delays follow the
+// default weight-derived rule, standing in for the geographic distances the
+// paper's testbed emulated with a delay server.
+func Abilene() *Graph {
+	g := New("Abilene")
+	names := []string{
+		"NewYork", "Chicago", "WashingtonDC", "Seattle", "Sunnyvale",
+		"LosAngeles", "Denver", "KansasCity", "Houston", "Atlanta",
+		"Indianapolis",
+	}
+	ids := make(map[string]NodeID, len(names))
+	for _, n := range names {
+		ids[n] = g.AddRouter(n)
+	}
+	type edge struct {
+		a, b string
+		w    float64
+	}
+	edges := []edge{
+		{"NewYork", "Chicago", 10},
+		{"NewYork", "WashingtonDC", 3},
+		{"Chicago", "Indianapolis", 3},
+		{"WashingtonDC", "Atlanta", 7},
+		{"Seattle", "Sunnyvale", 9},
+		{"Seattle", "Denver", 13},
+		{"Sunnyvale", "LosAngeles", 5},
+		{"Sunnyvale", "Denver", 12},
+		{"LosAngeles", "Houston", 15},
+		{"Denver", "KansasCity", 7},
+		{"KansasCity", "Houston", 9},
+		{"KansasCity", "Indianapolis", 6},
+		{"Houston", "Atlanta", 12},
+		{"Atlanta", "Indianapolis", 8},
+	}
+	for _, e := range edges {
+		g.AddLink(ids[e.a], ids[e.b], e.w)
+	}
+	return g
+}

@@ -1,0 +1,163 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := New("test")
+	a := g.AddRouter("a")
+	b := g.AddRouter("b")
+	e := g.AddExternal("ext", 65001)
+	g.AddLink(a, b, 5)
+	g.AddLink(b, e, 1)
+
+	if g.NumNodes() != 3 {
+		t.Fatalf("NumNodes = %d, want 3", g.NumNodes())
+	}
+	if got := g.Internal(); len(got) != 2 || got[0] != a || got[1] != b {
+		t.Errorf("Internal = %v", got)
+	}
+	if got := g.Externals(); len(got) != 1 || got[0] != e {
+		t.Errorf("Externals = %v", got)
+	}
+	if id, ok := g.NodeByName("b"); !ok || id != b {
+		t.Errorf("NodeByName(b) = %v, %v", id, ok)
+	}
+	if _, ok := g.NodeByName("zzz"); ok {
+		t.Error("NodeByName(zzz) should not exist")
+	}
+	if nbs := g.Neighbors(b); len(nbs) != 2 || nbs[0] != a || nbs[1] != e {
+		t.Errorf("Neighbors(b) = %v", nbs)
+	}
+	if l, ok := g.LinkBetween(a, b); !ok || l.Weight != 5 {
+		t.Errorf("LinkBetween(a,b) = %v, %v", l, ok)
+	}
+	if _, ok := g.LinkBetween(a, e); ok {
+		t.Error("LinkBetween(a,ext) should not exist")
+	}
+	if !g.Connected() {
+		t.Error("graph should be connected")
+	}
+}
+
+func TestDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate node name")
+		}
+	}()
+	g := New("dup")
+	g.AddRouter("x")
+	g.AddRouter("x")
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on self-loop")
+		}
+	}()
+	g := New("loop")
+	a := g.AddRouter("a")
+	g.AddLink(a, a, 1)
+}
+
+func TestConnectedDetectsPartition(t *testing.T) {
+	g := New("part")
+	g.AddRouter("a")
+	g.AddRouter("b")
+	if g.Connected() {
+		t.Error("two isolated routers must not be connected")
+	}
+}
+
+func TestAbilene(t *testing.T) {
+	g := Abilene()
+	if n := len(g.Internal()); n != 11 {
+		t.Fatalf("Abilene has %d internal routers, want 11", n)
+	}
+	if len(g.Links()) != 14 {
+		t.Fatalf("Abilene has %d links, want 14", len(g.Links()))
+	}
+	if !g.Connected() {
+		t.Fatal("Abilene must be connected")
+	}
+}
+
+func TestZooCorpusSize(t *testing.T) {
+	names := ZooNames()
+	if len(names) < 106 {
+		t.Fatalf("corpus has %d topologies, want >= 106", len(names))
+	}
+}
+
+func TestZooNamedSizes(t *testing.T) {
+	// Exact node counts the paper reports (Table 2, §7, App. C).
+	want := map[string]int{
+		"Deltacom": 113, "Ion": 125, "Pern": 127, "TataNld": 145,
+		"Colt": 153, "UsCarrier": 158, "Cogentco": 197, "Kdl": 754,
+		"Abilene": 11,
+	}
+	for name, size := range want {
+		got, ok := ZooSize(name)
+		if !ok || got != size {
+			t.Errorf("ZooSize(%s) = %d, %v; want %d", name, got, ok, size)
+		}
+		g := MustZoo(name)
+		if n := len(g.Internal()); n != size {
+			t.Errorf("Zoo(%s) has %d routers, want %d", name, n, size)
+		}
+	}
+}
+
+func TestZooDeterministic(t *testing.T) {
+	a := MustZoo("Cogentco")
+	b := MustZoo("Cogentco")
+	if len(a.Links()) != len(b.Links()) {
+		t.Fatalf("non-deterministic link count: %d vs %d", len(a.Links()), len(b.Links()))
+	}
+	for i, la := range a.Links() {
+		lb := b.Links()[i]
+		if la != lb {
+			t.Fatalf("link %d differs: %v vs %v", i, la, lb)
+		}
+	}
+}
+
+func TestZooUnknown(t *testing.T) {
+	if _, err := Zoo("NoSuchTopology"); err == nil {
+		t.Fatal("expected error for unknown topology")
+	}
+}
+
+func TestZooAllConnected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep skipped in -short")
+	}
+	for _, name := range ZooNames() {
+		g := MustZoo(name)
+		if !g.Connected() {
+			t.Errorf("%s is not connected", name)
+		}
+		size, _ := ZooSize(name)
+		if got := len(g.Internal()); got != size {
+			t.Errorf("%s: %d routers, want %d", name, got, size)
+		}
+	}
+}
+
+func TestSyntheticProperties(t *testing.T) {
+	// Property: for any size and seed, Synthetic yields a connected graph
+	// with n-1 <= links <= n-1 + n/4.
+	f := func(rawN uint8, seed uint64) bool {
+		n := int(rawN)%80 + 2
+		g := Synthetic("prop", n, seed)
+		links := len(g.Links())
+		return g.Connected() && links >= n-1 && links <= n-1+n/4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
