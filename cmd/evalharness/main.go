@@ -15,6 +15,7 @@
 //	evalharness -fig 13         # Fig. 13 (loop-constraint ablation)
 //	evalharness -table 1        # Table 1 (compilation rule classes)
 //	evalharness -table 2        # Table 2 (named topologies)
+//	evalharness -chaos          # fault-injection sweep (topologies × fault kinds)
 //	evalharness -all            # everything
 //
 // By default the corpus sweeps are capped at -max-nodes (60) routers so a
@@ -32,6 +33,7 @@ import (
 	"sort"
 	"time"
 
+	"chameleon/internal/chaos"
 	"chameleon/internal/eval"
 	"chameleon/internal/scenario"
 	"chameleon/internal/scheduler"
@@ -48,6 +50,7 @@ var (
 	runsFlag  = flag.Int("runs", 5, "runs per point for Figs. 8/13 (paper: 20)")
 	topoFlag  = flag.String("topo", "", "override topology for Figs. 8/13 (default: largest within cap)")
 	outFlag   = flag.String("out", "", "directory to write CSV artifacts into (optional)")
+	chaosFlag = flag.Bool("chaos", false, "run the fault-injection sweep (topologies × fault kinds)")
 )
 
 // saveCSV writes one CSV artifact when -out is set.
@@ -121,6 +124,9 @@ func main() {
 	}
 	if *allFlag || *tableFlag == "2" {
 		run("Table 2", table2)
+	}
+	if *allFlag || *chaosFlag {
+		run("Chaos sweep", chaosSweep)
 	}
 	if !ran {
 		flag.Usage()
@@ -396,6 +402,34 @@ func fig13() error {
 		}
 	}
 	fmt.Println("\n(paper shape: explicit loop constraints shrink the scheduling-time variance)")
+	return nil
+}
+
+func chaosSweep() error {
+	cfg := chaos.DefaultSweep()
+	cfg.Seeds = []uint64{*seedFlag}
+	fmt.Printf("chaos sweep: %d topologies × %d fault kinds, seed %d\n",
+		len(cfg.Topologies), len(cfg.Faults), *seedFlag)
+	results, sums, err := chaos.Sweep(cfg, func(r chaos.CaseResult) {
+		fmt.Printf("  %-12s %-10s → %-10s faults=%d msg=%d flaps=%d retries=%d repush=%d acks-=%d  %s\n",
+			r.Topology, r.Fault, r.Outcome, r.CommandFaults, r.MessageFaults,
+			r.Flaps, r.Recovery.Retries, r.Recovery.Repushes, r.Recovery.AcksLost, r.Err)
+	})
+	if err != nil {
+		return err
+	}
+	saveCSV("chaos_sweep.csv", func(w io.Writer) error { return eval.WriteChaosCSV(w, results) })
+	fmt.Println()
+	fmt.Print(eval.FormatChaosTable(sums))
+	violations := 0
+	for _, s := range sums {
+		violations += s.Violations
+	}
+	fmt.Printf("\nsilent violations: %d (must be 0 — every fault is either absorbed or visibly flagged)\n",
+		violations)
+	if violations > 0 {
+		return fmt.Errorf("%d silent invariant violations", violations)
+	}
 	return nil
 }
 

@@ -1,0 +1,423 @@
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand/v2"
+	"sort"
+	"time"
+
+	"chameleon/internal/analyzer"
+	"chameleon/internal/fwd"
+	"chameleon/internal/plan"
+	"chameleon/internal/runtime"
+	"chameleon/internal/scenario"
+	"chameleon/internal/scheduler"
+	"chameleon/internal/sim"
+	"chameleon/internal/spec"
+	"chameleon/internal/topology"
+)
+
+// Case is one chaos experiment: a scenario topology, a dominant fault
+// kind, and the seed driving both the scenario and the fault schedule.
+type Case struct {
+	Topology string
+	Fault    sim.FaultKind
+	Seed     uint64
+}
+
+// Outcome classifies how a chaos run ended. Every outcome except
+// OutcomeViolation is acceptable: the controller either succeeded or
+// visibly degraded. A violation — an invariant breach in a run the
+// controller reported as clean — is the failure chaos testing hunts.
+type Outcome int
+
+const (
+	// OutcomeClean: no faults materialized and the plan ran unperturbed.
+	OutcomeClean Outcome = iota
+	// OutcomeRecovered: faults were injected and the self-healing
+	// machinery absorbed them; all invariants verified.
+	OutcomeRecovered
+	// OutcomeDegraded: the controller visibly degraded (monitor alarm,
+	// escalation, or a ReactCommit cut-over) but completed.
+	OutcomeDegraded
+	// OutcomeAborted: the controller gave up visibly and released the
+	// transient state.
+	OutcomeAborted
+	// OutcomeViolation: an invariant was breached in a run the controller
+	// did not flag — the one unacceptable outcome.
+	OutcomeViolation
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeClean:
+		return "clean"
+	case OutcomeRecovered:
+		return "recovered"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeAborted:
+		return "aborted"
+	case OutcomeViolation:
+		return "VIOLATION"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// CaseResult reports one chaos run. Every field is a deterministic
+// function of the Case (simulated time only, no wall clock), so two runs
+// of the same case compare byte-for-byte.
+type CaseResult struct {
+	Topology string
+	Fault    string
+	Seed     uint64
+
+	Outcome Outcome
+	Err     string
+	// SimDuration is the simulated execution time (zero when aborted).
+	SimDuration time.Duration
+	Rounds      int
+
+	CommandsApplied int
+	CommandFaults   int
+	MessageFaults   int
+	Flaps           int
+
+	Recovery  runtime.RecoveryStats
+	Committed bool
+
+	Violations []string
+	// Fingerprint hashes the fault schedule and the outcome; equal
+	// fingerprints mean identical faults and identical results.
+	Fingerprint uint64
+}
+
+// injectorFor builds the fault-matrix column for one dominant fault kind.
+// MaxAttemptFaults 2 with the executor's default 3 retries means every
+// command eventually lands — persistent-fault escalation is exercised
+// separately by the runtime tests.
+func injectorFor(kind sim.FaultKind, seed uint64) *Injector {
+	cfg := InjectorConfig{Seed: seed, DelayFactor: 3, MaxAttemptFaults: 2}
+	switch kind {
+	case sim.FaultDrop:
+		cfg.CommandRate = 0.30
+		cfg.CommandKinds = []sim.FaultKind{sim.FaultDrop}
+	case sim.FaultDelay:
+		cfg.CommandRate = 0.35
+		cfg.CommandKinds = []sim.FaultKind{sim.FaultDelay}
+		cfg.MessageRate = 0.05
+		cfg.MessageKinds = []sim.FaultKind{sim.FaultDelay}
+	case sim.FaultDuplicate:
+		cfg.CommandRate = 0.35
+		cfg.CommandKinds = []sim.FaultKind{sim.FaultDuplicate}
+		cfg.MessageRate = 0.05
+		cfg.MessageKinds = []sim.FaultKind{sim.FaultDuplicate}
+	case sim.FaultPartial:
+		cfg.CommandRate = 0.30
+		cfg.CommandKinds = []sim.FaultKind{sim.FaultPartial}
+	}
+	// FaultFlap and FaultNone inject no per-command faults; flaps are
+	// scheduled as external events.
+	return NewInjector(cfg)
+}
+
+// buildScenario constructs the named scenario deterministically.
+func buildScenario(name string, seed uint64) (*scenario.Scenario, error) {
+	if name == "RunningExample" {
+		return scenario.RunningExample(), nil
+	}
+	return scenario.CaseStudy(name, scenario.Config{Seed: seed})
+}
+
+// reachabilitySpec builds G ∧_n reach(n); chaos deliberately rebuilds its
+// own pipeline instead of importing the eval package (which imports chaos
+// for its report table).
+func reachabilitySpec(g *topology.Graph) *spec.Spec {
+	b := spec.NewBuilder()
+	var es []*spec.Expr
+	for _, n := range g.Internal() {
+		es = append(es, b.Reach(n))
+	}
+	return spec.NewSpec(b, b.Globally(b.And(es...)))
+}
+
+// flapEvents schedules nflaps session flaps over internal iBGP sessions,
+// spread across the execution, counting actual flaps into *flapped.
+func flapEvents(s *scenario.Scenario, seed uint64, nflaps int, flapped *int) []runtime.ScheduledEvent {
+	var pairs [][2]topology.NodeID
+	for _, n := range s.Graph.Internal() {
+		for _, nb := range s.Net.Sessions(n) {
+			if nb > n && !s.Graph.Node(nb).External {
+				pairs = append(pairs, [2]topology.NodeID{n, nb})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	if len(pairs) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xd1b54a32d192ed03))
+	perm := rng.Perm(len(pairs))
+	if nflaps > len(pairs) {
+		nflaps = len(pairs)
+	}
+	const hold = 25 * time.Second
+	var evs []runtime.ScheduledEvent
+	for i := 0; i < nflaps; i++ {
+		a, b := pairs[perm[i]][0], pairs[perm[i]][1]
+		evs = append(evs, runtime.ScheduledEvent{
+			After: 40*time.Second + time.Duration(i)*45*time.Second,
+			Name:  fmt.Sprintf("flap n%d–n%d", int(a), int(b)),
+			Apply: func(n *sim.Network) {
+				if n.FlapSession(a, b, hold) {
+					*flapped++
+				}
+			},
+		})
+	}
+	return evs
+}
+
+// verifyInvariants checks the §3 guarantees offline on the recorded
+// forwarding trace: loop-freedom and reachability of every intermediate
+// state, at most one next-hop change per node, final state equal to the
+// analyzed target, and bounded transient eBGP exports. Session flaps
+// legitimately cause extra (forwarding-equivalent) churn and export
+// refreshes, so strict=false skips the change-count and export bounds —
+// harmful flaps are caught by the reachability monitor instead.
+func verifyInvariants(a *analyzer.Analysis, s *scenario.Scenario, start time.Duration, strict bool) []string {
+	var viol []string
+	full := s.Net.Trace(s.Prefix)
+	full.Compact()
+	// Restrict to the execution window: the trace also records the
+	// scenario's initial bring-up convergence, which precedes the plan and
+	// is outside Chameleon's responsibility.
+	lo := start.Seconds() - 1e-9
+	var tr fwd.Trace
+	for i, ts := range full.Times {
+		if ts >= lo {
+			tr.Times = append(tr.Times, ts)
+			tr.States = append(tr.States, full.States[i])
+		}
+	}
+	if len(tr.States) == 0 {
+		return []string{"no forwarding trace recorded during execution"}
+	}
+	internal := s.Graph.Internal()
+	for i, st := range tr.States {
+		if st.HasLoop() {
+			viol = append(viol, fmt.Sprintf("forwarding loop at t=%.2fs", tr.Times[i]))
+		}
+		for _, n := range internal {
+			if !st.Reach(n) {
+				viol = append(viol, fmt.Sprintf("node n%d unreachable at t=%.2fs", int(n), tr.Times[i]))
+			}
+		}
+	}
+	final := tr.States[len(tr.States)-1]
+	for _, n := range internal {
+		if final[n] != a.NHNew[n] {
+			viol = append(viol, fmt.Sprintf("node n%d final next hop %d, want %d",
+				int(n), int(final[n]), int(a.NHNew[n])))
+		}
+	}
+	if strict {
+		for _, n := range internal {
+			changes := 0
+			prev := tr.States[0][n]
+			for _, st := range tr.States[1:] {
+				if st[n] != prev {
+					changes++
+					prev = st[n]
+				}
+			}
+			if changes > 1 {
+				viol = append(viol, fmt.Sprintf("node n%d changed next hop %d times", int(n), changes))
+			}
+		}
+		if got, bound := s.Net.EBGPExports(s.Prefix), 3*len(s.Ext); got > bound {
+			viol = append(viol, fmt.Sprintf("%d transient eBGP exports (bound %d)", got, bound))
+		}
+	}
+	return viol
+}
+
+// RunCase executes one chaos case end to end: build the scenario, compile
+// a plan, install the seeded injector (and flap schedule), execute under
+// supervision, then classify the outcome and verify the invariants
+// offline. The same Case always produces the identical CaseResult.
+func RunCase(c Case) (*CaseResult, error) {
+	s, err := buildScenario(c.Topology, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := scheduler.Schedule(a, reachabilitySpec(s.Graph), scheduler.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Compile(a, sched, s.Commands)
+	if err != nil {
+		return nil, err
+	}
+
+	inj := injectorFor(c.Fault, c.Seed)
+	s.Net.SetFaultInjector(inj)
+
+	flapped := 0
+	opts := runtime.DefaultOptions(c.Seed)
+	opts.Monitor = func(net *sim.Network) bool {
+		st := net.ForwardingState(s.Prefix)
+		for _, n := range s.Graph.Internal() {
+			if !st.Reach(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if c.Fault == sim.FaultFlap {
+		opts.ExternalEvents = flapEvents(s, c.Seed, 2, &flapped)
+	}
+
+	ex := runtime.NewExecutor(s.Net, opts)
+	res, execErr := ex.Execute(p)
+	rec := ex.Recovery()
+
+	out := &CaseResult{
+		Topology: c.Topology,
+		Fault:    c.Fault.String(),
+		Seed:     c.Seed,
+		Rounds:   sched.R,
+		Recovery: rec,
+	}
+	if execErr != nil {
+		// The controller gave up; release the transient state so the
+		// network is left clean — a visible abort, never a silent one.
+		ex.Abort(p)
+		out.Outcome = OutcomeAborted
+		out.Err = execErr.Error()
+	} else {
+		out.SimDuration = res.Duration()
+		out.CommandsApplied = res.CommandsApplied
+		out.Committed = res.Committed
+	}
+	out.CommandFaults = inj.CommandFaults()
+	out.MessageFaults = inj.MessageFaults()
+	out.Flaps = flapped
+
+	if execErr == nil {
+		flagged := out.Committed || rec.Escalations > 0 || rec.MonitorAlarms > 0
+		switch {
+		case flagged:
+			out.Outcome = OutcomeDegraded
+		default:
+			out.Violations = verifyInvariants(a, s, res.Start, c.Fault != sim.FaultFlap)
+			switch {
+			case len(out.Violations) > 0:
+				out.Outcome = OutcomeViolation
+			case rec.Any() || out.CommandFaults+out.MessageFaults+out.Flaps > 0:
+				out.Outcome = OutcomeRecovered
+			default:
+				out.Outcome = OutcomeClean
+			}
+		}
+	}
+
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d;%s;%d;%s;%v;%d;%d;%d;%+v",
+		inj.Fingerprint(), out.Outcome, out.SimDuration, out.Err,
+		out.Violations, flapped, out.CommandsApplied, out.Rounds, rec)
+	out.Fingerprint = h.Sum64()
+	return out, nil
+}
+
+// SweepConfig spans the scenario × fault matrix.
+type SweepConfig struct {
+	Topologies []string
+	Faults     []sim.FaultKind
+	Seeds      []uint64
+}
+
+// DefaultSweep returns the standard matrix: three corpus topologies ×
+// five fault kinds (plus the fault-free control) × one seed.
+func DefaultSweep() SweepConfig {
+	return SweepConfig{
+		Topologies: []string{"Abilene", "Basnet", "Heanet"},
+		Faults: []sim.FaultKind{
+			sim.FaultNone, sim.FaultDrop, sim.FaultDelay,
+			sim.FaultDuplicate, sim.FaultPartial, sim.FaultFlap,
+		},
+		Seeds: []uint64{1},
+	}
+}
+
+// Summary aggregates sweep results per fault kind.
+type Summary struct {
+	Fault string
+	Runs  int
+
+	Clean, Recovered, Degraded, Aborted, Violations int
+
+	CommandFaults, MessageFaults, Flaps      int
+	Retries, Repushes, Escalations, AcksLost int
+	MonitorAlarms                            int
+}
+
+// Sweep runs the whole matrix, returning each case's result plus per-kind
+// summaries (in cfg.Faults order). The progress callback, when non-nil,
+// observes each result as it completes.
+func Sweep(cfg SweepConfig, progress func(CaseResult)) ([]CaseResult, []Summary, error) {
+	idx := make(map[string]int, len(cfg.Faults))
+	sums := make([]Summary, len(cfg.Faults))
+	for i, k := range cfg.Faults {
+		idx[k.String()] = i
+		sums[i].Fault = k.String()
+	}
+	var results []CaseResult
+	for _, topo := range cfg.Topologies {
+		for _, kind := range cfg.Faults {
+			for _, seed := range cfg.Seeds {
+				r, err := RunCase(Case{Topology: topo, Fault: kind, Seed: seed})
+				if err != nil {
+					return nil, nil, fmt.Errorf("chaos: %s/%s/seed=%d: %w", topo, kind, seed, err)
+				}
+				results = append(results, *r)
+				sm := &sums[idx[r.Fault]]
+				sm.Runs++
+				switch r.Outcome {
+				case OutcomeClean:
+					sm.Clean++
+				case OutcomeRecovered:
+					sm.Recovered++
+				case OutcomeDegraded:
+					sm.Degraded++
+				case OutcomeAborted:
+					sm.Aborted++
+				case OutcomeViolation:
+					sm.Violations++
+				}
+				sm.CommandFaults += r.CommandFaults
+				sm.MessageFaults += r.MessageFaults
+				sm.Flaps += r.Flaps
+				sm.Retries += r.Recovery.Retries
+				sm.Repushes += r.Recovery.Repushes
+				sm.Escalations += r.Recovery.Escalations
+				sm.AcksLost += r.Recovery.AcksLost
+				sm.MonitorAlarms += r.Recovery.MonitorAlarms
+				if progress != nil {
+					progress(*r)
+				}
+			}
+		}
+	}
+	return results, sums, nil
+}

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"chameleon/internal/chaos"
+	"chameleon/internal/runtime"
 	"chameleon/internal/scheduler"
 	"chameleon/internal/topology"
 )
@@ -252,6 +254,46 @@ func TestCSVWriters(t *testing.T) {
 	for _, name := range []string{"Abilene_snowcap.csv", "Abilene_chameleon.csv", "Abilene_phases.csv"} {
 		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
 			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+}
+
+func TestChaosReport(t *testing.T) {
+	results := []chaos.CaseResult{
+		{
+			Topology: "Abilene", Fault: "drop", Seed: 1,
+			Outcome: chaos.OutcomeRecovered, SimDuration: 90 * time.Second,
+			Rounds: 3, CommandsApplied: 12, CommandFaults: 5,
+			Recovery:    runtime.RecoveryStats{Retries: 5},
+			Fingerprint: 0xdeadbeef,
+		},
+		{
+			Topology: "Abilene", Fault: "flap", Seed: 1,
+			Outcome: chaos.OutcomeDegraded, Flaps: 2,
+			Recovery:   runtime.RecoveryStats{MonitorAlarms: 1},
+			Violations: nil,
+		},
+	}
+	var buf strings.Builder
+	if err := WriteChaosCSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "topology,fault,seed,outcome") {
+		t.Errorf("chaos CSV malformed: %q", lines)
+	}
+	if !strings.Contains(lines[1], "recovered") || !strings.Contains(lines[1], "deadbeef") {
+		t.Errorf("chaos CSV row missing fields: %q", lines[1])
+	}
+
+	sums := []chaos.Summary{
+		{Fault: "none", Runs: 3, Clean: 3},
+		{Fault: "drop", Runs: 3, Recovered: 3, CommandFaults: 46, Retries: 46},
+	}
+	table := FormatChaosTable(sums)
+	for _, want := range []string{"fault", "drop", "46"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("chaos table missing %q:\n%s", want, table)
 		}
 	}
 }

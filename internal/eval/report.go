@@ -7,7 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 
+	"chameleon/internal/chaos"
 	"chameleon/internal/traffic"
 )
 
@@ -150,6 +152,56 @@ func SaveAllCSV(dir string, r *CaseStudyResult) error {
 		}
 	}
 	return nil
+}
+
+// WriteChaosCSV writes one row per chaos case: the fault matrix cell, its
+// outcome, and the full fault/recovery accounting.
+func WriteChaosCSV(w io.Writer, results []chaos.CaseResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"topology", "fault", "seed", "outcome", "sim_duration_s", "rounds",
+		"commands", "cmd_faults", "msg_faults", "flaps",
+		"retries", "repushes", "escalations", "acks_lost", "monitor_alarms",
+		"committed", "violations", "fingerprint", "error",
+	}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := cw.Write([]string{
+			r.Topology, r.Fault, strconv.FormatUint(r.Seed, 10),
+			r.Outcome.String(), formatF(r.SimDuration.Seconds()),
+			strconv.Itoa(r.Rounds), strconv.Itoa(r.CommandsApplied),
+			strconv.Itoa(r.CommandFaults), strconv.Itoa(r.MessageFaults),
+			strconv.Itoa(r.Flaps),
+			strconv.Itoa(r.Recovery.Retries), strconv.Itoa(r.Recovery.Repushes),
+			strconv.Itoa(r.Recovery.Escalations), strconv.Itoa(r.Recovery.AcksLost),
+			strconv.Itoa(r.Recovery.MonitorAlarms),
+			strconv.FormatBool(r.Committed),
+			strings.Join(r.Violations, "; "),
+			strconv.FormatUint(r.Fingerprint, 16), r.Err,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FormatChaosTable renders the per-fault-kind sweep summary (faults
+// injected, retries, recoveries, escalations) as a plain-text table.
+func FormatChaosTable(sums []chaos.Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %5s %6s %6s %6s %6s %5s | %7s %7s %7s %8s %8s %6s %6s\n",
+		"fault", "runs", "clean", "recov", "degr", "abort", "VIOL",
+		"cmdflt", "msgflt", "flaps", "retries", "repush", "escal", "acks-")
+	b.WriteString(strings.Repeat("-", 110) + "\n")
+	for _, s := range sums {
+		fmt.Fprintf(&b, "%-10s %5d %6d %6d %6d %6d %5d | %7d %7d %7d %8d %8d %6d %6d\n",
+			s.Fault, s.Runs, s.Clean, s.Recovered, s.Degraded, s.Aborted, s.Violations,
+			s.CommandFaults, s.MessageFaults, s.Flaps,
+			s.Retries, s.Repushes, s.Escalations, s.AcksLost)
+	}
+	return b.String()
 }
 
 func formatF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

@@ -84,6 +84,10 @@ func (c *compiler) ensureTempSession(n, egress topology.NodeID) {
 					net.SetSession(nn, ee, bgp.IBGPPeer)
 				}
 			},
+			Verify: func(net *sim.Network) bool {
+				_, up := net.HasSession(nn, ee)
+				return up
+			},
 		},
 		// The session must deliver the egress's current best route.
 		Post: nil,
@@ -110,6 +114,9 @@ func weightEntry(n, from, egress topology.NodeID, prefix bgp.Prefix, order, weig
 					Action: sim.Action{SetWeight: sim.IntP(weight)},
 				})
 			})
+		},
+		Verify: func(net *sim.Network) bool {
+			return net.RouteMapOf(n, from, sim.In).Has(orderFor(order, prefix))
 		},
 	}
 }
@@ -270,6 +277,16 @@ func (c *compiler) compileCleanup(nodes []topology.NodeID) {
 						}
 					}
 				},
+				Verify: func(net *sim.Network) bool {
+					for _, nb := range net.Sessions(n) {
+						for _, o := range cleanupOrders {
+							if net.RouteMapOf(n, nb, sim.In).Has(o) {
+								return false
+							}
+						}
+					}
+					return true
+				},
 			},
 			// External events may legitimately change the post-cleanup
 			// best route (Fig. 11), so only route presence is asserted.
@@ -284,6 +301,10 @@ func (c *compiler) compileCleanup(nodes []topology.NodeID) {
 				Description: fmt.Sprintf("remove temporary session n%d–n%d", int(sess.A), int(sess.B)),
 				Apply: func(net *sim.Network) {
 					net.RemoveSession(sess.A, sess.B)
+				},
+				Verify: func(net *sim.Network) bool {
+					_, up := net.HasSession(sess.A, sess.B)
+					return !up
 				},
 			},
 		})

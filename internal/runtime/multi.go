@@ -17,6 +17,7 @@ func (e *Executor) ExecuteMulti(mp *plan.MultiPlan) (*Result, error) {
 		return nil, fmt.Errorf("runtime: network not converged at start")
 	}
 	res := &Result{Start: e.net.Now()}
+	e.rec = RecoveryStats{}
 	for _, p := range mp.Plans {
 		e.net.RecordInitialState(p.Prefix)
 	}
@@ -72,10 +73,11 @@ func (e *Executor) ExecuteMulti(mp *plan.MultiPlan) (*Result, error) {
 				return nil, err
 			}
 		}
-		cmd := mp.Originals[ci]
-		e.net.ScheduleAfter(e.latency(), func(n *sim.Network) { cmd.Apply(n) })
-		e.net.Run()
-		res.CommandsApplied++
+		// Originals go through the same supervised, self-healing push as
+		// the Between slots of a single-destination plan.
+		if err := e.applyOriginals([]sim.Command{mp.Originals[ci]}, res); err != nil {
+			return nil, err
+		}
 	}
 	for i, p := range mp.Plans {
 		if err := runUntil(i, p.R); err != nil {
@@ -98,6 +100,7 @@ func (e *Executor) ExecuteMulti(mp *plan.MultiPlan) (*Result, error) {
 	e.net.Run()
 	res.End = e.net.Now()
 	res.MaxTableEntries = e.net.MaxTableEntries()
+	res.Recovery = e.rec
 	return res, nil
 }
 
@@ -122,6 +125,12 @@ func (e *Executor) ExecuteSplit(order []int, originals []sim.Command,
 		}
 		res.Phases = append(res.Phases, step.Phases...)
 		res.CommandsApplied += step.CommandsApplied
+		res.Committed = res.Committed || step.Committed
+		res.Recovery.Retries += step.Recovery.Retries
+		res.Recovery.Repushes += step.Recovery.Repushes
+		res.Recovery.Escalations += step.Recovery.Escalations
+		res.Recovery.AcksLost += step.Recovery.AcksLost
+		res.Recovery.MonitorAlarms += step.Recovery.MonitorAlarms
 		if step.MaxTableEntries > res.MaxTableEntries {
 			res.MaxTableEntries = step.MaxTableEntries
 		}

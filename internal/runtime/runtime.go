@@ -4,6 +4,14 @@
 // advancing to the next round only once every post-condition holds. Router
 // command latency is modeled after the paper's testbed measurements (§7.2:
 // 8–12 s per route-map change on Cisco Nexus 7000).
+//
+// The executor is self-healing: it never assumes a pushed command was
+// applied. Every command is tracked through its acknowledgment token and a
+// configuration readback (sim.Command.Verify); a command that stays
+// unconfirmed past its per-command timeout climbs an escalation ladder —
+// seeded-deterministic retries with capped exponential backoff and jitter,
+// then a forced re-push of the phase's configuration, and finally the
+// configured §8 reaction policy (commit / replan / visible abort).
 package runtime
 
 import (
@@ -18,23 +26,37 @@ import (
 
 // Options configure plan execution.
 type Options struct {
-	// Seed drives the command-latency draws.
+	// Seed drives the command-latency and retry-jitter draws.
 	Seed uint64
 	// MinCommandLatency and MaxCommandLatency bound the uniform router
 	// command application latency (defaults 8s and 12s, §7.2).
 	MinCommandLatency, MaxCommandLatency time.Duration
-	// ConditionTimeout bounds how long the controller waits for a
-	// condition before declaring the plan stuck (simulated time;
-	// default 120 s).
+	// ConditionTimeout bounds how long the controller waits without any
+	// progress (no command pushed, confirmed, or retried) before declaring
+	// the plan stuck (simulated time; default 120 s).
 	ConditionTimeout time.Duration
+	// CommandTimeout is the per-command acknowledgment deadline, measured
+	// from the expected application time: a command unconfirmed for this
+	// long is presumed lost and retried (default 30 s). Distinct from
+	// ConditionTimeout, which guards whole phases.
+	CommandTimeout time.Duration
+	// MaxRetries bounds the backoff retries per command before the
+	// escalation ladder moves past them (default 3).
+	MaxRetries int
+	// RetryBackoffBase and RetryBackoffCap shape the capped exponential
+	// backoff between retries (defaults 2 s and 15 s); a seeded jitter of
+	// up to half the backoff is added.
+	RetryBackoffBase, RetryBackoffCap time.Duration
 	// ExternalEvents are injected into the network at the given offsets
 	// from execution start (Fig. 11's link failure / new announcement).
 	ExternalEvents []ScheduledEvent
 	// Monitor, when set, is evaluated after every simulated event during
-	// plan execution; returning false reports a harmful external event
-	// (e.g. a best-route withdrawal breaking an invariant, §8).
+	// plan execution — including the Between slots where original commands
+	// converge; returning false reports a harmful external event (e.g. a
+	// best-route withdrawal breaking an invariant, §8).
 	Monitor func(*sim.Network) bool
-	// Reaction selects how the controller responds to a Monitor alarm.
+	// Reaction selects how the controller responds to a Monitor alarm or
+	// an exhausted escalation ladder.
 	Reaction ReactionPolicy
 }
 
@@ -77,6 +99,10 @@ func DefaultOptions(seed uint64) Options {
 		MinCommandLatency: 8 * time.Second,
 		MaxCommandLatency: 12 * time.Second,
 		ConditionTimeout:  120 * time.Second,
+		CommandTimeout:    30 * time.Second,
+		MaxRetries:        3,
+		RetryBackoffBase:  2 * time.Second,
+		RetryBackoffCap:   15 * time.Second,
 	}
 }
 
@@ -86,18 +112,45 @@ type PhaseSpan struct {
 	Start, End time.Duration
 }
 
+// RecoveryStats counts the self-healing machinery's activity during one
+// execution: the escalation ladder is retry → re-push → §8 reaction.
+type RecoveryStats struct {
+	// Retries counts backoff re-pushes of commands whose acknowledgment
+	// did not arrive within CommandTimeout.
+	Retries int
+	// Repushes counts ladder-2 forced refreshes (the command and any
+	// phase configuration found missing are pushed once more, without
+	// backoff, before escalating).
+	Repushes int
+	// Escalations counts ladder-3 handoffs to the §8 reaction policy.
+	Escalations int
+	// AcksLost counts commands confirmed by configuration readback after
+	// their acknowledgment was lost (partial-application recoveries).
+	AcksLost int
+	// MonitorAlarms counts Monitor evaluations reporting a harmful event.
+	MonitorAlarms int
+}
+
+// Any reports whether any self-healing action or alarm occurred.
+func (r RecoveryStats) Any() bool {
+	return r.Retries+r.Repushes+r.Escalations+r.AcksLost+r.MonitorAlarms > 0
+}
+
 // Result reports a finished execution.
 type Result struct {
 	Start, End time.Duration
 	Phases     []PhaseSpan
-	// CommandsApplied counts plan commands (steps + originals).
+	// CommandsApplied counts plan commands (steps + originals), not
+	// counting self-healing retries.
 	CommandsApplied int
 	// MaxTableEntries is the §7.3 metric observed during execution.
 	MaxTableEntries int
-	// Committed reports that a monitored external event triggered the
-	// ReactCommit policy: the plan was cut short and the final
-	// configuration applied immediately (§8).
+	// Committed reports that a monitored external event (or an exhausted
+	// escalation ladder) triggered the ReactCommit policy: the plan was
+	// cut short and the final configuration applied immediately (§8).
 	Committed bool
+	// Recovery reports the self-healing activity of this execution.
+	Recovery RecoveryStats
 }
 
 // Duration returns the total execution time.
@@ -108,6 +161,11 @@ type Executor struct {
 	net  *sim.Network
 	opts Options
 	rng  *rand.Rand
+
+	// rec accumulates self-healing statistics for the current execution;
+	// exposed through Result.Recovery and the Recovery accessor (the
+	// latter also reports aborted executions).
+	rec RecoveryStats
 
 	// betweenDone tracks which original-command slots have been applied,
 	// so a ReactCommit cut-over applies exactly the pending ones.
@@ -125,6 +183,18 @@ func NewExecutor(net *sim.Network, opts Options) *Executor {
 	if opts.ConditionTimeout == 0 {
 		opts.ConditionTimeout = 120 * time.Second
 	}
+	if opts.CommandTimeout == 0 {
+		opts.CommandTimeout = 30 * time.Second
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 3
+	}
+	if opts.RetryBackoffBase == 0 {
+		opts.RetryBackoffBase = 2 * time.Second
+	}
+	if opts.RetryBackoffCap == 0 {
+		opts.RetryBackoffCap = 15 * time.Second
+	}
 	return &Executor{
 		net:  net,
 		opts: opts,
@@ -132,12 +202,41 @@ func NewExecutor(net *sim.Network, opts Options) *Executor {
 	}
 }
 
+// Recovery returns the self-healing statistics of the most recent
+// execution, including executions that ended in an error or abort.
+func (e *Executor) Recovery() RecoveryStats { return e.rec }
+
 func (e *Executor) latency() time.Duration {
 	span := e.opts.MaxCommandLatency - e.opts.MinCommandLatency
 	if span <= 0 {
 		return e.opts.MinCommandLatency
 	}
 	return e.opts.MinCommandLatency + time.Duration(e.rng.Int64N(int64(span)))
+}
+
+// backoff returns the delay before the retry-th re-push (1-based): capped
+// exponential with a seeded jitter of up to half the backoff.
+func (e *Executor) backoff(retry int) time.Duration {
+	d := e.opts.RetryBackoffBase
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= e.opts.RetryBackoffCap {
+			break
+		}
+	}
+	if d > e.opts.RetryBackoffCap {
+		d = e.opts.RetryBackoffCap
+	}
+	return d + time.Duration(e.rng.Int64N(int64(d)/2+1))
+}
+
+// pushTracked pushes cmd through the network's fault layer after the
+// router latency plus extraDelay, returning the acknowledgment token and
+// the verification deadline for this attempt.
+func (e *Executor) pushTracked(cmd sim.Command, attempt int, extraDelay time.Duration) (*sim.CommandToken, time.Duration) {
+	lat := e.latency() + extraDelay
+	tk := e.net.ScheduleCommand(lat, cmd, attempt)
+	return tk, e.net.Now() + lat + e.opts.CommandTimeout
 }
 
 // Execute runs the plan to completion. The network must be converged; on
@@ -148,6 +247,7 @@ func (e *Executor) Execute(p *plan.Plan) (*Result, error) {
 		return nil, fmt.Errorf("runtime: network not converged at start")
 	}
 	res := &Result{Start: e.net.Now()}
+	e.rec = RecoveryStats{}
 	e.net.RecordInitialState(p.Prefix)
 	e.net.ResetMaxTableEntries()
 	e.betweenDone = make([]bool, len(p.Between))
@@ -203,19 +303,140 @@ func (e *Executor) Execute(p *plan.Plan) (*Result, error) {
 	e.net.Run()
 	res.End = e.net.Now()
 	res.MaxTableEntries = e.net.MaxTableEntries()
+	res.Recovery = e.rec
 	return res, nil
 }
 
 // applyOriginals pushes the original reconfiguration commands and waits for
-// convergence (they synchronize rounds across destinations, §5).
+// convergence (they synchronize rounds across destinations, §5). The push
+// is supervised like any phase: commands are confirmed through their
+// acknowledgment (or Verify readback), retried on loss, and the Monitor is
+// consulted after every simulated event so harmful external events during
+// Between slots reach the §8 reaction policies.
 func (e *Executor) applyOriginals(cmds []sim.Command, res *Result) error {
-	for _, cmd := range cmds {
-		cmd := cmd
-		e.net.ScheduleAfter(e.latency(), func(n *sim.Network) { cmd.Apply(n) })
+	if len(cmds) == 0 {
+		if err := e.superviseRun(); err != nil {
+			return err
+		}
+		return nil
+	}
+	type pushState struct {
+		token     *sim.CommandToken
+		attempts  int
+		checkAt   time.Duration
+		confirmed bool
+	}
+	st := make([]pushState, len(cmds))
+	for i, cmd := range cmds {
+		tk, checkAt := e.pushTracked(cmd, 0, 0)
+		st[i] = pushState{token: tk, attempts: 1, checkAt: checkAt}
 		res.CommandsApplied++
 	}
-	e.net.Run()
+	watchdog := e.net.Now() + e.opts.ConditionTimeout
+	for {
+		progress := false
+		allConfirmed := true
+		for i := range st {
+			s := &st[i]
+			if s.confirmed {
+				continue
+			}
+			if s.token.Acked() {
+				s.confirmed = true
+				progress = true
+				continue
+			}
+			if v := cmds[i].Verify; v != nil && v(e.net) {
+				s.confirmed = true
+				e.rec.AcksLost++
+				progress = true
+				continue
+			}
+			allConfirmed = false
+			if e.net.Now() < s.checkAt {
+				continue
+			}
+			// Ladder: MaxRetries backoff retries, one forced re-push,
+			// then the §8 reaction.
+			switch {
+			case s.attempts <= e.opts.MaxRetries:
+				tk, checkAt := e.pushTracked(cmds[i], s.attempts, e.backoff(s.attempts))
+				s.token, s.checkAt = tk, checkAt
+				s.attempts++
+				e.rec.Retries++
+				progress = true
+			case s.attempts == e.opts.MaxRetries+1:
+				tk, checkAt := e.pushTracked(cmds[i], s.attempts, 0)
+				s.token, s.checkAt = tk, checkAt
+				s.attempts++
+				e.rec.Repushes++
+				progress = true
+			default:
+				e.rec.Escalations++
+				return e.react(fmt.Errorf(
+					"original command %q unconfirmed after %d attempts",
+					cmds[i].Description, s.attempts))
+			}
+		}
+		if allConfirmed && e.net.Converged() {
+			return nil
+		}
+		if progress {
+			watchdog = e.net.Now() + e.opts.ConditionTimeout
+		}
+		if !e.net.Step() {
+			if allConfirmed {
+				return nil
+			}
+			if next, ok := nextDeadline(st, func(s pushState) (bool, time.Duration) {
+				return !s.confirmed, s.checkAt
+			}); ok && next > e.net.Now() {
+				e.net.RunUntil(next)
+			}
+			continue
+		}
+		if e.opts.Monitor != nil && !e.opts.Monitor(e.net) {
+			e.rec.MonitorAlarms++
+			if err := e.react(nil); err != nil {
+				return err
+			}
+		}
+		if e.net.Now() > watchdog {
+			return e.react(fmt.Errorf("original commands stalled (no progress for %v)", e.opts.ConditionTimeout))
+		}
+	}
+}
+
+// superviseRun drains the event queue like sim.Network.Run but consults the
+// Monitor after every event, so external events landing in otherwise idle
+// Between slots are still caught (§8).
+func (e *Executor) superviseRun() error {
+	for e.net.Step() {
+		if e.opts.Monitor != nil && !e.opts.Monitor(e.net) {
+			e.rec.MonitorAlarms++
+			if err := e.react(nil); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// nextDeadline returns the earliest deadline among entries sel marks
+// pending.
+func nextDeadline[T any](xs []T, sel func(T) (bool, time.Duration)) (time.Duration, bool) {
+	var best time.Duration
+	found := false
+	for _, x := range xs {
+		pending, at := sel(x)
+		if !pending {
+			continue
+		}
+		if !found || at < best {
+			best, found = at, true
+		}
+	}
+	return best, found
 }
 
 // applyOriginalSlot applies one Between slot, tracking completion for a
@@ -230,10 +451,12 @@ func (e *Executor) applyOriginalSlot(p *plan.Plan, slot int, res *Result) error 
 	return nil
 }
 
-// commit performs the §8 reaction-3 cut-over: every pending original
+// commit performs the §8 reaction-3 cut-over: in-flight pushes are
+// cancelled (the cut-over supersedes them), then every pending original
 // command and the whole cleanup phase are applied at once.
 func (e *Executor) commit(p *plan.Plan, res *Result) {
 	start := e.net.Now()
+	e.net.CancelPendingCommands()
 	for k, cmds := range p.Between {
 		if k < len(e.betweenDone) && e.betweenDone[k] {
 			continue
@@ -253,9 +476,12 @@ func (e *Executor) commit(p *plan.Plan, res *Result) {
 
 // Abort releases a (possibly partially executed) plan's transient state by
 // applying its cleanup commands immediately and letting the network
-// converge — the prelude to replanning under ReactReplan. In-flight
-// scheduled commands are drained first so none land after the cleanup.
+// converge — the prelude to replanning under ReactReplan. Every in-flight
+// scheduled command (including retries and fault-layer duplicates) is
+// cancelled first and the queue drained, so no stale configuration can
+// land after the cleanup: aborting is deterministic.
 func (e *Executor) Abort(p *plan.Plan) {
+	e.net.CancelPendingCommands()
 	e.net.Run()
 	for _, st := range p.Cleanup {
 		st.Command.Apply(e.net)
@@ -263,17 +489,28 @@ func (e *Executor) Abort(p *plan.Plan) {
 	e.net.Run()
 }
 
+// stepState tracks one plan step through push, acknowledgment and
+// escalation.
+type stepState struct {
+	pushed    bool
+	confirmed bool
+	repushed  bool
+	token     *sim.CommandToken
+	attempts  int
+	checkAt   time.Duration
+}
+
 // runSteps executes one phase: every step's command is pushed as soon as
-// its pre-conditions hold (commands within a phase apply concurrently), and
-// the phase completes when every post-condition is satisfied.
+// its pre-conditions hold (commands within a phase apply concurrently), a
+// pushed command is confirmed through its acknowledgment or configuration
+// readback — retried, re-pushed and finally escalated if it stays
+// unconfirmed — and the phase completes when every post-condition holds.
 func (e *Executor) runSteps(p *plan.Plan, steps []plan.Step) error {
 	if len(steps) == 0 {
-		e.net.Run()
-		return nil
+		return e.superviseRun()
 	}
-	applied := make([]bool, len(steps))
-	applyTime := make([]time.Duration, len(steps))
-	deadline := e.net.Now() + e.opts.ConditionTimeout
+	st := make([]stepState, len(steps))
+	watchdog := e.net.Now() + e.opts.ConditionTimeout
 
 	preOK := func(i int) bool {
 		for _, c := range steps[i].Pre {
@@ -284,7 +521,7 @@ func (e *Executor) runSteps(p *plan.Plan, steps []plan.Step) error {
 		return true
 	}
 	postOK := func(i int) bool {
-		if !applied[i] || e.net.Now() < applyTime[i] {
+		if !st[i].confirmed {
 			return false
 		}
 		for _, c := range steps[i].Post {
@@ -296,23 +533,84 @@ func (e *Executor) runSteps(p *plan.Plan, steps []plan.Step) error {
 	}
 
 	for {
-		// Push every step whose pre-conditions now hold.
 		progress := false
+		// Push every step whose pre-conditions now hold.
 		for i := range steps {
-			if applied[i] || !preOK(i) {
+			if st[i].pushed || !preOK(i) {
 				continue
 			}
-			cmd := steps[i].Command
-			lat := e.latency()
-			applyTime[i] = e.net.Now() + lat
-			e.net.ScheduleAfter(lat, func(n *sim.Network) { cmd.Apply(n) })
-			applied[i] = true
+			tk, checkAt := e.pushTracked(steps[i].Command, 0, 0)
+			st[i] = stepState{pushed: true, token: tk, attempts: 1, checkAt: checkAt}
 			progress = true
 		}
-		// Done when all commands applied and all posts hold.
+		// Confirm pushed commands; heal the ones presumed lost.
+		for i := range steps {
+			s := &st[i]
+			if !s.pushed || s.confirmed {
+				continue
+			}
+			if s.token.Acked() {
+				s.confirmed = true
+				progress = true
+				continue
+			}
+			if v := steps[i].Command.Verify; v != nil && v(e.net) {
+				// The effect is present but the ack never arrived: the
+				// command was (at least partially) applied and the
+				// readback — not blind retrying — confirms it.
+				s.confirmed = true
+				e.rec.AcksLost++
+				progress = true
+				continue
+			}
+			if e.net.Now() < s.checkAt {
+				continue
+			}
+			// The command is unconfirmed past its deadline: climb the
+			// escalation ladder.
+			switch {
+			case s.attempts <= e.opts.MaxRetries:
+				// Ladder 1: retry with capped exponential backoff.
+				tk, checkAt := e.pushTracked(steps[i].Command, s.attempts, e.backoff(s.attempts))
+				s.token, s.checkAt = tk, checkAt
+				s.attempts++
+				e.rec.Retries++
+				progress = true
+			case !s.repushed:
+				// Ladder 2: force one immediate re-push of this command
+				// and refresh any phase configuration found missing (a
+				// session flap may have taken earlier state with it).
+				for j := range steps {
+					o := &st[j]
+					if j == i || !o.confirmed {
+						continue
+					}
+					if v := steps[j].Command.Verify; v != nil && !v(e.net) {
+						tk, checkAt := e.pushTracked(steps[j].Command, o.attempts, 0)
+						o.token, o.checkAt, o.confirmed = tk, checkAt, false
+						o.attempts++
+						e.rec.Repushes++
+					}
+				}
+				tk, checkAt := e.pushTracked(steps[i].Command, s.attempts, 0)
+				s.token, s.checkAt = tk, checkAt
+				s.attempts++
+				s.repushed = true
+				e.rec.Repushes++
+				progress = true
+			default:
+				// Ladder 3: the fault is persistent; degrade per the §8
+				// policy instead of wedging until the phase deadline.
+				e.rec.Escalations++
+				return e.react(fmt.Errorf(
+					"command %q unconfirmed after %d attempts (last fault presumed persistent)",
+					steps[i].Command.Description, s.attempts))
+			}
+		}
+		// Done when all commands confirmed and all posts hold.
 		done := true
 		for i := range steps {
-			if !applied[i] || !postOK(i) {
+			if !st[i].pushed || !postOK(i) {
 				done = false
 				break
 			}
@@ -320,24 +618,37 @@ func (e *Executor) runSteps(p *plan.Plan, steps []plan.Step) error {
 		if done {
 			return nil
 		}
-		// Advance the network by one event; if nothing is pending and no
-		// new command became applicable, the plan is stuck — under
-		// supervision that is itself the §8 "long-term anomaly" signal
-		// (an external event invalidated a pre- or post-condition).
+		if progress {
+			watchdog = e.net.Now() + e.opts.ConditionTimeout
+		}
+		// Advance the network by one event. With an empty queue, advance
+		// the clock to the next verification deadline instead — dropped
+		// commands generate no events of their own.
 		if !e.net.Step() {
+			if next, ok := nextDeadline(st, func(s stepState) (bool, time.Duration) {
+				return s.pushed && !s.confirmed, s.checkAt
+			}); ok && next > e.net.Now() {
+				e.net.RunUntil(next)
+				continue
+			}
 			if !progress {
-				return e.react(e.stuckError(p, steps, applied))
+				// Nothing pending and no new command became applicable:
+				// the plan is stuck — under supervision that is itself
+				// the §8 "long-term anomaly" signal (an external event
+				// invalidated a pre- or post-condition).
+				return e.react(e.stuckError(p, steps, st))
 			}
 			continue
 		}
 		// §8 supervision: react to harmful external events immediately.
 		if e.opts.Monitor != nil && !e.opts.Monitor(e.net) {
+			e.rec.MonitorAlarms++
 			if err := e.react(nil); err != nil {
 				return err
 			}
 		}
-		if e.net.Now() > deadline {
-			return e.react(e.stuckError(p, steps, applied))
+		if e.net.Now() > watchdog {
+			return e.react(e.stuckError(p, steps, st))
 		}
 	}
 }
@@ -355,14 +666,17 @@ func (e *Executor) react(fallbackErr error) error {
 	return fallbackErr
 }
 
-func (e *Executor) stuckError(p *plan.Plan, steps []plan.Step, applied []bool) error {
-	for i, st := range steps {
-		if !applied[i] {
-			return fmt.Errorf("pre-conditions never satisfied for %q", st.Command.Description)
+func (e *Executor) stuckError(p *plan.Plan, steps []plan.Step, st []stepState) error {
+	for i, s := range steps {
+		if !st[i].pushed {
+			return fmt.Errorf("pre-conditions never satisfied for %q", s.Command.Description)
 		}
-		for _, c := range st.Post {
+		if !st[i].confirmed {
+			return fmt.Errorf("command %q never confirmed (ack and readback both missing)", s.Command.Description)
+		}
+		for _, c := range s.Post {
 			if !c.Check(e.net, p.Prefix) {
-				return fmt.Errorf("post-condition %q never satisfied for %q", c, st.Command.Description)
+				return fmt.Errorf("post-condition %q never satisfied for %q", c, s.Command.Description)
 			}
 		}
 	}

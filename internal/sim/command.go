@@ -16,6 +16,11 @@ type Command struct {
 	DeniesOld bool
 	// Apply performs the change.
 	Apply func(*Network)
+	// Verify, when set, checks whether the command's configuration effect
+	// is present on the network — the controller's "show running-config"
+	// readback. The self-healing executor uses it to confirm commands
+	// whose acknowledgment was lost instead of blindly assuming failure.
+	Verify func(*Network) bool
 }
 
 func (c Command) String() string { return c.Description }

@@ -75,18 +75,37 @@ func (n *Network) ScheduleAfter(d time.Duration, fn func(*Network)) {
 
 // sendMsg enqueues a BGP message honoring per-session FIFO ordering: a
 // message never overtakes an earlier message on the same directed session.
+// An installed fault injector may delay or duplicate the delivery; the
+// fault is applied before the FIFO clamp so ordering is preserved.
 func (n *Network) sendMsg(m *message) {
 	delay := n.sessionDelay(m.from, m.to)
 	if n.opts.Jitter > 0 {
 		delay += time.Duration(n.rng.Int64N(int64(n.opts.Jitter)))
 	}
-	at := n.now + delay
-	key := sessionKey(m.from, m.to)
-	if last, ok := n.lastDelivery[key]; ok && at <= last {
-		at = last + time.Microsecond
+	duplicate := false
+	if n.faults != nil {
+		switch f := n.faults.MessageFault(m.from, m.to); f.Kind {
+		case FaultDelay:
+			if f.DelayFactor > 1 {
+				delay = time.Duration(float64(delay) * f.DelayFactor)
+			}
+		case FaultDuplicate:
+			duplicate = true
+		}
 	}
-	n.lastDelivery[key] = at
-	n.push(&event{at: at, msg: m})
+	key := sessionKey(m.from, m.to)
+	enqueue := func(at time.Duration) time.Duration {
+		if last, ok := n.lastDelivery[key]; ok && at <= last {
+			at = last + time.Microsecond
+		}
+		n.lastDelivery[key] = at
+		n.push(&event{at: at, msg: m})
+		return at
+	}
+	at := enqueue(n.now + delay)
+	if duplicate {
+		enqueue(at + delay/2)
+	}
 }
 
 type sessKey struct{ from, to topology.NodeID }

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"chameleon/internal/topology"
+)
+
+// This file implements the simulator's fault-injection layer: a seeded,
+// deterministic hook on configuration-command application and BGP message
+// delivery. It models the unreliable substrate a real controller pushes
+// commands into — commands can be lost, delayed, applied twice, or applied
+// without the acknowledgment making it back — and BGP sessions can flap.
+// The runtime controller is expected to observe faults only through the
+// CommandToken (the ack channel) and the network state itself, never
+// through the injector's internal truth.
+
+// FaultKind enumerates the injectable fault classes.
+type FaultKind int
+
+const (
+	// FaultNone leaves the command/message untouched.
+	FaultNone FaultKind = iota
+	// FaultDrop silently loses a command: it never reaches the router and
+	// no acknowledgment is produced. Not honored for messages — the
+	// simulated sessions run over TCP and never lose individual messages;
+	// whole-session loss is modeled by FlapSession.
+	FaultDrop
+	// FaultDelay multiplies the command/message latency by DelayFactor.
+	FaultDelay
+	// FaultDuplicate applies the command (or delivers the message) twice,
+	// the second copy arriving later. Chameleon's commands are idempotent,
+	// so a duplicate is only harmful through its timing.
+	FaultDuplicate
+	// FaultPartial applies the command's effect but loses the
+	// acknowledgment: the controller sees a failure for a command that in
+	// fact (partially or fully) ran, and must verify the effect on the
+	// network instead of trusting the ack. Command-only.
+	FaultPartial
+	// FaultFlap is not decided per command: it names the scheduled
+	// session-flap fault (teardown + re-establish after a hold time) in
+	// fault schedules and reports.
+	FaultFlap
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDrop:
+		return "drop"
+	case FaultDelay:
+		return "delay"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultPartial:
+		return "partial"
+	case FaultFlap:
+		return "flap"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// CommandFault is the injector's decision for one command application
+// attempt.
+type CommandFault struct {
+	Kind FaultKind
+	// DelayFactor multiplies the command latency for FaultDelay and spaces
+	// the second application for FaultDuplicate. Values ≤ 1 are ignored.
+	DelayFactor float64
+}
+
+// MessageFault is the injector's decision for one BGP message delivery.
+// Only FaultDelay and FaultDuplicate are honored (see FaultDrop).
+type MessageFault struct {
+	Kind        FaultKind
+	DelayFactor float64
+}
+
+// FaultInjector decides the fate of every command application and message
+// delivery. Implementations must be deterministic functions of their own
+// seeded state and the call sequence, so a fixed seed reproduces the exact
+// fault schedule.
+type FaultInjector interface {
+	// CommandFault is consulted once per scheduled command application;
+	// attempt counts the controller's pushes of the same command (0 for
+	// the first push, 1 for the first retry, …).
+	CommandFault(node topology.NodeID, description string, attempt int) CommandFault
+	// MessageFault is consulted once per enqueued BGP message.
+	MessageFault(from, to topology.NodeID) MessageFault
+}
+
+// SetFaultInjector installs fi on the network (nil removes it). Cloned
+// networks never inherit the injector.
+func (n *Network) SetFaultInjector(fi FaultInjector) { n.faults = fi }
+
+// FaultInjectorInstalled reports whether a fault injector is active.
+func (n *Network) FaultInjectorInstalled() bool { return n.faults != nil }
+
+// CommandToken is the controller's view of one pushed command: whether the
+// router acknowledged it, and a handle to cancel it while still in flight.
+// Applied/Fault expose the simulator's ground truth for tests and chaos
+// verification; a faithful controller bases decisions only on Acked and on
+// querying the network.
+type CommandToken struct {
+	applied   bool
+	acked     bool
+	dropped   bool
+	cancelled bool
+	kind      FaultKind
+	at        time.Duration
+}
+
+// Acked reports whether the router acknowledged the application. This is
+// the only fault-layer signal a controller may trust.
+func (t *CommandToken) Acked() bool { return t.acked }
+
+// Applied reports whether the command's effect reached the network
+// (ground truth; for verification harnesses).
+func (t *CommandToken) Applied() bool { return t.applied }
+
+// Dropped reports whether the fault layer discarded the command
+// (ground truth).
+func (t *CommandToken) Dropped() bool { return t.dropped }
+
+// Cancelled reports whether the token was cancelled before applying.
+func (t *CommandToken) Cancelled() bool { return t.cancelled }
+
+// Fault returns the fault kind injected into this application.
+func (t *CommandToken) Fault() FaultKind { return t.kind }
+
+// ScheduledAt returns the (post-fault) simulated time the primary
+// application is due; meaningless for dropped commands.
+func (t *CommandToken) ScheduledAt() time.Duration { return t.at }
+
+// Cancel prevents a not-yet-applied command (and any pending duplicate of
+// it) from ever applying. Cancelling an already-applied command is a no-op.
+func (t *CommandToken) Cancel() {
+	if !t.applied {
+		t.cancelled = true
+	}
+}
+
+// ScheduleCommand pushes cmd through the fault layer after delay — the way
+// a controller pushes configuration at a router. The returned token is the
+// controller's acknowledgment channel; with no injector installed the
+// command applies after exactly delay and acks.
+func (n *Network) ScheduleCommand(delay time.Duration, cmd Command, attempt int) *CommandToken {
+	tk := &CommandToken{kind: FaultNone}
+	f := CommandFault{}
+	if n.faults != nil {
+		f = n.faults.CommandFault(cmd.Node, cmd.Description, attempt)
+	}
+	tk.kind = f.Kind
+	switch f.Kind {
+	case FaultDrop:
+		// Lost on the way to the router: nothing is scheduled and the
+		// controller hears nothing.
+		tk.dropped = true
+		return tk
+	case FaultDelay:
+		if f.DelayFactor > 1 {
+			delay = time.Duration(float64(delay) * f.DelayFactor)
+		}
+	}
+	tk.at = n.now + delay
+	apply := cmd.Apply
+	n.pendingCmds = append(n.pendingCmds, tk)
+	n.ScheduleAfter(delay, func(net *Network) {
+		if tk.cancelled {
+			return
+		}
+		apply(net)
+		tk.applied = true
+		// FaultPartial: the effect is in, the ack is lost.
+		if f.Kind != FaultPartial {
+			tk.acked = true
+		}
+	})
+	if f.Kind == FaultDuplicate {
+		// A straggling second application. Commands are idempotent, so the
+		// duplicate matters only if it lands after a later command undid
+		// the first application; keep it close behind the original.
+		extra := delay / 2
+		if f.DelayFactor > 1 {
+			extra = time.Duration(float64(delay) * (f.DelayFactor - 1) / 2)
+		}
+		n.ScheduleAfter(delay+extra, func(net *Network) {
+			if tk.cancelled {
+				return
+			}
+			apply(net)
+		})
+	}
+	return tk
+}
+
+// CancelPendingCommands cancels every scheduled-but-unapplied command
+// (including pending duplicates), so that aborting a plan is deterministic:
+// no in-flight configuration can land after the abort's cleanup. It returns
+// the number of commands cancelled.
+func (n *Network) CancelPendingCommands() int {
+	cancelled := 0
+	for _, tk := range n.pendingCmds {
+		if !tk.applied && !tk.cancelled {
+			tk.Cancel()
+			cancelled++
+		}
+	}
+	n.pendingCmds = n.pendingCmds[:0]
+	return cancelled
+}
+
+// PendingCommands returns the number of scheduled commands that have
+// neither applied nor been cancelled yet.
+func (n *Network) PendingCommands() int {
+	pending := 0
+	for _, tk := range n.pendingCmds {
+		if !tk.applied && !tk.cancelled {
+			pending++
+		}
+	}
+	return pending
+}
+
+// FlapSession models a BGP session flap: the session between a and b is
+// torn down (both ends drop the learned routes) and re-established with the
+// same role after hold. Re-establishment advertises both ends' current best
+// routes, as a real session restart would. Returns false if no session
+// exists.
+func (n *Network) FlapSession(a, b topology.NodeID, hold time.Duration) bool {
+	kind, ok := n.routers[a].sessions[b]
+	if !ok {
+		return false
+	}
+	n.RemoveSession(a, b)
+	n.ScheduleAfter(hold, func(net *Network) {
+		if _, up := net.routers[a].sessions[b]; up {
+			return // something re-established it meanwhile
+		}
+		net.SetSession(a, b, kind)
+	})
+	return true
+}

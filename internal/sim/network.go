@@ -68,6 +68,12 @@ type Network struct {
 	ebgpExports map[bgp.Prefix]int
 
 	msgCount uint64
+
+	// faults, when set, decides the fate of every scheduled command and
+	// delivered message (see fault.go). pendingCmds tracks in-flight
+	// command tokens so an abort can cancel them deterministically.
+	faults      FaultInjector
+	pendingCmds []*CommandToken
 }
 
 // New builds a network over g with all BGP state empty.

@@ -101,6 +101,19 @@ func (rm *RouteMap) Remove(order int) int {
 	return removed
 }
 
+// Has reports whether any entry with the given order exists.
+func (rm *RouteMap) Has(order int) bool {
+	if rm == nil {
+		return false
+	}
+	for _, e := range rm.entries {
+		if e.Order == order {
+			return true
+		}
+	}
+	return false
+}
+
 // Len returns the number of entries.
 func (rm *RouteMap) Len() int {
 	if rm == nil {
