@@ -55,12 +55,34 @@ func BenchmarkFig06PhaseTimeline(b *testing.B) {
 func BenchmarkFig07SchedulingTime(b *testing.B) {
 	names := []string{"Basnet", "Compuserve", "Aarnet", "Agis", "Arpanet19728"}
 	for i := 0; i < b.N; i++ {
-		outs := eval.SweepScheduling(names, 7, scheduler.DefaultOptions(), nil)
+		outs := eval.SweepScheduling(names, 7, scheduler.DefaultOptions(), 1, nil)
 		for _, o := range outs {
 			if o.Err != nil {
 				b.Fatalf("%s: %v", o.Name, o.Err)
 			}
 		}
+	}
+}
+
+// BenchmarkParallelSweep measures the worker-pool speedup on the same
+// corpus slice as Fig. 7: sequential vs one worker per CPU. The merged
+// results are byte-identical either way; only wall-clock changes.
+func BenchmarkParallelSweep(b *testing.B) {
+	names := []string{"Basnet", "Compuserve", "Aarnet", "Agis", "Arpanet19728"}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"workers-1", 1}, {"workers-numcpu", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				outs := eval.SweepScheduling(names, 7, scheduler.DefaultOptions(), bc.workers, nil)
+				for _, o := range outs {
+					if o.Err != nil {
+						b.Fatalf("%s: %v", o.Name, o.Err)
+					}
+				}
+			}
+		})
 	}
 }
 
@@ -81,7 +103,7 @@ func BenchmarkFig08SpecComplexity(b *testing.B) {
 func BenchmarkFig09ReconfTimeCDF(b *testing.B) {
 	names := []string{"Basnet", "Compuserve", "Sprint", "EEnet", "Aarnet"}
 	for i := 0; i < b.N; i++ {
-		outs := eval.SweepScheduling(names, 7, scheduler.DefaultOptions(), nil)
+		outs := eval.SweepScheduling(names, 7, scheduler.DefaultOptions(), 1, nil)
 		var xs []float64
 		for _, o := range outs {
 			if o.Err == nil {
@@ -98,7 +120,7 @@ func BenchmarkFig09ReconfTimeCDF(b *testing.B) {
 func BenchmarkFig10TableOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		outs := eval.SweepTableOverhead([]string{"Abilene", "Sprint"}, 7,
-			scheduler.DefaultOptions(), nil)
+			scheduler.DefaultOptions(), 1, nil)
 		for _, o := range outs {
 			if o.Err != nil {
 				b.Fatalf("%s: %v", o.Name, o.Err)
@@ -190,7 +212,7 @@ func BenchmarkTable2NamedTopologies(b *testing.B) {
 		b.Skip("113-node scheduling skipped in -short")
 	}
 	for i := 0; i < b.N; i++ {
-		outs := eval.SweepScheduling([]string{"Deltacom"}, 7, scheduler.DefaultOptions(), nil)
+		outs := eval.SweepScheduling([]string{"Deltacom"}, 7, scheduler.DefaultOptions(), 1, nil)
 		if outs[0].Err != nil {
 			b.Fatal(outs[0].Err)
 		}

@@ -22,6 +22,12 @@
 // full run finishes on a laptop; pass -full for the entire 106-topology
 // corpus including Cogentco (197) and Kdl (754), which — like the paper's
 // CBC runs — can take hours.
+//
+// The corpus and chaos sweeps run -workers scenarios at a time (default:
+// one per CPU). Results are merged in scenario order, so every CSV artifact
+// and chaos fingerprint is byte-identical at any worker count; only the
+// wall-clock scheduling_time_s measurements vary run to run. Pass
+// -workers 1 for contention-free Fig. 7 timing measurements.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	goruntime "runtime"
 	"sort"
 	"time"
 
@@ -49,8 +56,9 @@ var (
 	seedFlag  = flag.Uint64("seed", 7, "scenario seed")
 	runsFlag  = flag.Int("runs", 5, "runs per point for Figs. 8/13 (paper: 20)")
 	topoFlag  = flag.String("topo", "", "override topology for Figs. 8/13 (default: largest within cap)")
-	outFlag   = flag.String("out", "", "directory to write CSV artifacts into (optional)")
-	chaosFlag = flag.Bool("chaos", false, "run the fault-injection sweep (topologies × fault kinds)")
+	outFlag     = flag.String("out", "", "directory to write CSV artifacts into (optional)")
+	chaosFlag   = flag.Bool("chaos", false, "run the fault-injection sweep (topologies × fault kinds)")
+	workersFlag = flag.Int("workers", goruntime.NumCPU(), "parallel scenario runs for the corpus and chaos sweeps (1 = sequential)")
 )
 
 // saveCSV writes one CSV artifact when -out is set.
@@ -242,9 +250,10 @@ func schedulingSweep() []eval.SweepOutcome {
 		return sweepMemo
 	}
 	names := corpus()
-	fmt.Printf("sweeping %d scenarios (cap %d nodes, -full=%v)\n", len(names), *maxNodes, *fullFlag)
+	fmt.Printf("sweeping %d scenarios (cap %d nodes, -full=%v, %d workers)\n",
+		len(names), *maxNodes, *fullFlag, *workersFlag)
 	opts := scheduler.DefaultOptions()
-	sweepMemo = eval.SweepScheduling(names, *seedFlag, opts, func(o eval.SweepOutcome) {
+	sweepMemo = eval.SweepScheduling(names, *seedFlag, opts, *workersFlag, func(o eval.SweepOutcome) {
 		status := "ok"
 		if o.Err != nil {
 			status = o.Err.Error()
@@ -317,8 +326,8 @@ func fig9() error {
 
 func fig10() error {
 	names := corpus()
-	fmt.Printf("table-overhead sweep over %d scenarios\n", len(names))
-	outs := eval.SweepTableOverhead(names, *seedFlag, scheduler.DefaultOptions(), func(o eval.OverheadOutcome) {
+	fmt.Printf("table-overhead sweep over %d scenarios (%d workers)\n", len(names), *workersFlag)
+	outs := eval.SweepTableOverhead(names, *seedFlag, scheduler.DefaultOptions(), *workersFlag, func(o eval.OverheadOutcome) {
 		status := "ok"
 		if o.Err != nil {
 			status = o.Err.Error()
@@ -408,8 +417,9 @@ func fig13() error {
 func chaosSweep() error {
 	cfg := chaos.DefaultSweep()
 	cfg.Seeds = []uint64{*seedFlag}
-	fmt.Printf("chaos sweep: %d topologies × %d fault kinds, seed %d\n",
-		len(cfg.Topologies), len(cfg.Faults), *seedFlag)
+	cfg.Workers = *workersFlag
+	fmt.Printf("chaos sweep: %d topologies × %d fault kinds, seed %d, %d workers\n",
+		len(cfg.Topologies), len(cfg.Faults), *seedFlag, *workersFlag)
 	results, sums, err := chaos.Sweep(cfg, func(r chaos.CaseResult) {
 		fmt.Printf("  %-12s %-10s → %-10s faults=%d msg=%d flaps=%d retries=%d repush=%d acks-=%d  %s\n",
 			r.Topology, r.Fault, r.Outcome, r.CommandFaults, r.MessageFaults,
@@ -478,7 +488,7 @@ func table2() error {
 		fmt.Println("note: Table 2 uses 113-197 node topologies; running them regardless of -max-nodes")
 	}
 	opts := scheduler.DefaultOptions()
-	outs := eval.SweepScheduling(names, *seedFlag, opts, nil)
+	outs := eval.SweepScheduling(names, *seedFlag, opts, *workersFlag, nil)
 	fmt.Printf("%-12s %6s %8s %14s\n", "Topology", "|N|", "Cr", "sched time")
 	for _, o := range outs {
 		if o.Err != nil {

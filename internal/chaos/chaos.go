@@ -1,15 +1,18 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand/v2"
 	"sort"
+	"sync"
 	"time"
 
 	"chameleon/internal/analyzer"
 	"chameleon/internal/fwd"
 	"chameleon/internal/plan"
+	"chameleon/internal/pool"
 	"chameleon/internal/runtime"
 	"chameleon/internal/scenario"
 	"chameleon/internal/scheduler"
@@ -261,7 +264,13 @@ func RunCase(c Case) (*CaseResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched, err := scheduler.Schedule(a, reachabilitySpec(s.Graph), scheduler.DefaultOptions())
+	schedOpts := scheduler.DefaultOptions()
+	// A deterministic solver budget instead of wall-clock limits: the
+	// schedule — and with it the whole case, fingerprint included — must
+	// not depend on how loaded the machine is or how many sweep workers
+	// share it.
+	schedOpts.SolverNodeBudget = scheduler.DeterministicNodeBudget
+	sched, err := scheduler.Schedule(a, reachabilitySpec(s.Graph), schedOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -345,10 +354,17 @@ type SweepConfig struct {
 	Topologies []string
 	Faults     []sim.FaultKind
 	Seeds      []uint64
+	// Workers bounds how many cases run concurrently: ≤ 0 means one per
+	// CPU, 1 reproduces the historical sequential sweep. Every case builds
+	// its own scenario, network, injector and executor, so the matrix is
+	// embarrassingly parallel; results (and their fingerprints) are merged
+	// in matrix order and identical at any worker count.
+	Workers int
 }
 
 // DefaultSweep returns the standard matrix: three corpus topologies ×
-// five fault kinds (plus the fault-free control) × one seed.
+// five fault kinds (plus the fault-free control) × one seed, one case per
+// CPU at a time.
 func DefaultSweep() SweepConfig {
 	return SweepConfig{
 		Topologies: []string{"Abilene", "Basnet", "Heanet"},
@@ -372,52 +388,72 @@ type Summary struct {
 	MonitorAlarms                            int
 }
 
-// Sweep runs the whole matrix, returning each case's result plus per-kind
-// summaries (in cfg.Faults order). The progress callback, when non-nil,
-// observes each result as it completes.
+// Sweep runs the whole matrix cfg.Workers-wide, returning each case's
+// result in matrix order (topology-major, then fault kind, then seed —
+// independent of completion order) plus per-kind summaries (in cfg.Faults
+// order). The progress callback, when non-nil, is serialized and observes
+// each result as it completes; with Workers > 1 that order varies between
+// runs even though the returned results never do.
 func Sweep(cfg SweepConfig, progress func(CaseResult)) ([]CaseResult, []Summary, error) {
+	var cases []Case
+	for _, topo := range cfg.Topologies {
+		for _, kind := range cfg.Faults {
+			for _, seed := range cfg.Seeds {
+				cases = append(cases, Case{Topology: topo, Fault: kind, Seed: seed})
+			}
+		}
+	}
+
+	var mu sync.Mutex
+	results, err := pool.Map(context.Background(), cfg.Workers, len(cases), func(_ context.Context, i int) (CaseResult, error) {
+		c := cases[i]
+		r, err := RunCase(c)
+		if err != nil {
+			return CaseResult{}, fmt.Errorf("chaos: %s/%s/seed=%d: %w", c.Topology, c.Fault, c.Seed, err)
+		}
+		if progress != nil {
+			mu.Lock()
+			progress(*r)
+			mu.Unlock()
+		}
+		return *r, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Aggregate in matrix order so summaries are as deterministic as the
+	// per-case results they fold.
 	idx := make(map[string]int, len(cfg.Faults))
 	sums := make([]Summary, len(cfg.Faults))
 	for i, k := range cfg.Faults {
 		idx[k.String()] = i
 		sums[i].Fault = k.String()
 	}
-	var results []CaseResult
-	for _, topo := range cfg.Topologies {
-		for _, kind := range cfg.Faults {
-			for _, seed := range cfg.Seeds {
-				r, err := RunCase(Case{Topology: topo, Fault: kind, Seed: seed})
-				if err != nil {
-					return nil, nil, fmt.Errorf("chaos: %s/%s/seed=%d: %w", topo, kind, seed, err)
-				}
-				results = append(results, *r)
-				sm := &sums[idx[r.Fault]]
-				sm.Runs++
-				switch r.Outcome {
-				case OutcomeClean:
-					sm.Clean++
-				case OutcomeRecovered:
-					sm.Recovered++
-				case OutcomeDegraded:
-					sm.Degraded++
-				case OutcomeAborted:
-					sm.Aborted++
-				case OutcomeViolation:
-					sm.Violations++
-				}
-				sm.CommandFaults += r.CommandFaults
-				sm.MessageFaults += r.MessageFaults
-				sm.Flaps += r.Flaps
-				sm.Retries += r.Recovery.Retries
-				sm.Repushes += r.Recovery.Repushes
-				sm.Escalations += r.Recovery.Escalations
-				sm.AcksLost += r.Recovery.AcksLost
-				sm.MonitorAlarms += r.Recovery.MonitorAlarms
-				if progress != nil {
-					progress(*r)
-				}
-			}
+	for i := range results {
+		r := &results[i]
+		sm := &sums[idx[r.Fault]]
+		sm.Runs++
+		switch r.Outcome {
+		case OutcomeClean:
+			sm.Clean++
+		case OutcomeRecovered:
+			sm.Recovered++
+		case OutcomeDegraded:
+			sm.Degraded++
+		case OutcomeAborted:
+			sm.Aborted++
+		case OutcomeViolation:
+			sm.Violations++
 		}
+		sm.CommandFaults += r.CommandFaults
+		sm.MessageFaults += r.MessageFaults
+		sm.Flaps += r.Flaps
+		sm.Retries += r.Recovery.Retries
+		sm.Repushes += r.Recovery.Repushes
+		sm.Escalations += r.Recovery.Escalations
+		sm.AcksLost += r.Recovery.AcksLost
+		sm.MonitorAlarms += r.Recovery.MonitorAlarms
 	}
 	return results, sums, nil
 }

@@ -1,0 +1,44 @@
+package chaos_test
+
+import (
+	"reflect"
+	goruntime "runtime"
+	"testing"
+
+	"chameleon/internal/chaos"
+	"chameleon/internal/sim"
+)
+
+// TestSweepWorkerCountInvariance runs the same fault matrix sequentially
+// and on wider pools and asserts the results — fingerprints, recovery
+// accounting, summaries — are identical. The sweep's determinism contract:
+// only wall-clock time may depend on the worker count, and chaos results
+// carry none.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	cfg := chaos.SweepConfig{
+		Topologies: []string{"Abilene"},
+		Faults: []sim.FaultKind{
+			sim.FaultNone, sim.FaultDrop, sim.FaultDelay,
+			sim.FaultDuplicate, sim.FaultPartial, sim.FaultFlap,
+		},
+		Seeds: []uint64{1},
+	}
+	run := func(workers int) ([]chaos.CaseResult, []chaos.Summary) {
+		cfg.Workers = workers
+		results, sums, err := chaos.Sweep(cfg, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return results, sums
+	}
+	wantResults, wantSums := run(1)
+	for _, w := range []int{4, goruntime.NumCPU()} {
+		results, sums := run(w)
+		if !reflect.DeepEqual(results, wantResults) {
+			t.Errorf("workers=%d produced different case results than sequential", w)
+		}
+		if !reflect.DeepEqual(sums, wantSums) {
+			t.Errorf("workers=%d produced different summaries than sequential", w)
+		}
+	}
+}

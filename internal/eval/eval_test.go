@@ -115,7 +115,7 @@ func TestRunCaseStudyAbilene(t *testing.T) {
 
 func TestSweepSchedulingSmall(t *testing.T) {
 	names := []string{"Abilene", "Basnet", "Epoch"}
-	outs := SweepScheduling(names, 7, scheduler.DefaultOptions(), nil)
+	outs := SweepScheduling(names, 7, scheduler.DefaultOptions(), 1, nil)
 	if len(outs) != 3 {
 		t.Fatalf("got %d outcomes", len(outs))
 	}
@@ -152,7 +152,7 @@ func TestSpecComplexitySweepSmall(t *testing.T) {
 }
 
 func TestSweepTableOverheadSmall(t *testing.T) {
-	outs := SweepTableOverhead([]string{"Abilene", "Sprint"}, 7, scheduler.DefaultOptions(), nil)
+	outs := SweepTableOverhead([]string{"Abilene", "Sprint"}, 7, scheduler.DefaultOptions(), 1, nil)
 	for _, o := range outs {
 		if o.Err != nil {
 			t.Errorf("%s: %v", o.Name, o.Err)
@@ -218,7 +218,7 @@ func TestCSVWriters(t *testing.T) {
 	}
 
 	buf.Reset()
-	outs := SweepScheduling([]string{"Basnet"}, 7, scheduler.DefaultOptions(), nil)
+	outs := SweepScheduling([]string{"Basnet"}, 7, scheduler.DefaultOptions(), 1, nil)
 	if err := WriteSweepCSV(&buf, outs); err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestCSVWriters(t *testing.T) {
 	}
 
 	buf.Reset()
-	ov := SweepTableOverhead([]string{"Basnet"}, 7, scheduler.DefaultOptions(), nil)
+	ov := SweepTableOverhead([]string{"Basnet"}, 7, scheduler.DefaultOptions(), 1, nil)
 	if err := WriteOverheadCSV(&buf, ov); err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"chameleon/internal/analyzer"
 	"chameleon/internal/plan"
+	"chameleon/internal/pool"
 	"chameleon/internal/runtime"
 	"chameleon/internal/scenario"
 	"chameleon/internal/scheduler"
@@ -164,45 +167,75 @@ type SweepOutcome struct {
 // reconfiguration complexity Cr, and the resulting round count. The
 // temp-session optimization pass is capped tightly so the measured time is
 // dominated by the feasibility search, which is what correlates with Cr.
-func SweepScheduling(names []string, seed uint64, opts scheduler.Options, progress func(SweepOutcome)) []SweepOutcome {
-	if opts.ObjectiveTimeLimit == 0 || opts.ObjectiveTimeLimit > 500*time.Millisecond {
-		opts.ObjectiveTimeLimit = 500 * time.Millisecond
+//
+// Scenarios run workers-wide (≤ 0 means one per CPU); every scenario run
+// owns its network and RNG streams, and results come back in names order
+// regardless of completion order, so everything except the wall-clock
+// SchedulingTime measurement is byte-identical at any worker count. The
+// progress callback is serialized but observes completion order.
+func SweepScheduling(names []string, seed uint64, opts scheduler.Options, workers int, progress func(SweepOutcome)) []SweepOutcome {
+	if opts.SolverNodeBudget == 0 {
+		// Deterministic solver budget: every column except the wall-clock
+		// scheduling_time_s is then byte-identical at any worker count
+		// and under any machine load.
+		opts.SolverNodeBudget = scheduler.DeterministicNodeBudget
 	}
-	var out []SweepOutcome
-	for _, name := range names {
-		o := SweepOutcome{Name: name}
-		func() {
-			s, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
-			if err != nil {
-				o.Err = err
-				return
-			}
-			o.Nodes = len(s.Graph.Internal())
-			a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
-			if err != nil {
-				o.Err = err
-				return
-			}
-			o.Switching = len(a.Switching)
-			o.Cr = a.ReconfigurationComplexity()
-			sp := Eq4Spec(a, s.E1)
-			t0 := time.Now()
-			sched, err := scheduler.Schedule(a, sp, opts)
-			o.SchedulingTime = time.Since(t0)
-			if err != nil {
-				o.Err = err
-				return
-			}
-			o.R = sched.R
-			o.TempSessions = sched.TempOldSessions + sched.TempNewSessions
-			o.EstimatedReconfTime = runtime.EstimateReconfigurationTime(sched.R)
-		}()
-		out = append(out, o)
+	return sweep(workers, names, progress, func(name string) SweepOutcome {
+		return schedulingOutcome(name, seed, opts)
+	})
+}
+
+// sweep fans runOne over names on the worker pool, serializing progress.
+// A panicking scenario run propagates as a panic, as it would sequentially.
+func sweep[T any](workers int, names []string, progress func(T), runOne func(name string) T) []T {
+	var mu sync.Mutex
+	out, err := pool.Map(context.Background(), workers, len(names), func(_ context.Context, i int) (T, error) {
+		o := runOne(names[i])
 		if progress != nil {
+			mu.Lock()
 			progress(o)
+			mu.Unlock()
 		}
+		return o, nil
+	})
+	if err != nil {
+		panic(err)
 	}
 	return out
+}
+
+// schedulingOutcome runs one scenario of the §7 scheduling sweep. The
+// SchedulingTime field is the only wall-clock measurement: under parallel
+// contention it measures the worker's elapsed time (still the quantity the
+// Fig. 7 correlation uses — relative, not absolute, magnitudes), while every
+// other field derives from the simulation and is reproducible bit-for-bit.
+func schedulingOutcome(name string, seed uint64, opts scheduler.Options) SweepOutcome {
+	o := SweepOutcome{Name: name}
+	s, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	o.Nodes = len(s.Graph.Internal())
+	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	o.Switching = len(a.Switching)
+	o.Cr = a.ReconfigurationComplexity()
+	sp := Eq4Spec(a, s.E1)
+	t0 := time.Now()
+	sched, err := scheduler.Schedule(a, sp, opts)
+	o.SchedulingTime = time.Since(t0)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	o.R = sched.R
+	o.TempSessions = sched.TempOldSessions + sched.TempNewSessions
+	o.EstimatedReconfTime = runtime.EstimateReconfigurationTime(sched.R)
+	return o
 }
 
 // --- Figs. 8 and 13: specification complexity sweep ------------------------
@@ -219,7 +252,11 @@ type SpecSweepPoint struct {
 // number of waypoint-constrained nodes |Nφ| grows, with temporal (φt) or
 // non-temporal (φn) constraints, and with or without explicit loop
 // constraints (Fig. 13's ablation). Each point runs `runs` times with a
-// different random Nφ subset.
+// different random Nφ subset, each drawn from its own derived stream.
+//
+// This sweep stays deliberately sequential: its *only* output is scheduling
+// time under a tight ObjectiveTimeLimit, and running points concurrently
+// would let CPU contention distort the medians Fig. 8 compares.
 func SpecComplexitySweep(name string, temporal, explicitLoops bool, fracs []float64, runs int, seed uint64) ([]SpecSweepPoint, error) {
 	s, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
 	if err != nil {
@@ -239,7 +276,8 @@ func SpecComplexitySweep(name string, temporal, explicitLoops bool, fracs []floa
 		pt := SpecSweepPoint{Frac: frac, Nphi: k}
 		var xs []float64
 		for run := 0; run < runs; run++ {
-			nodes := SampleNodes(s.Graph, k, seed+uint64(run)*7919+uint64(k))
+			// Each (|Nφ|, run) point owns a derived sampling stream.
+			nodes := SampleNodes(s.Graph, k, sim.DeriveSeed(seed, uint64(k)<<20|uint64(run)))
 			var sp *spec.Spec
 			if temporal {
 				sp = PhiT(a, s.E1, nodes)
@@ -254,9 +292,10 @@ func SpecComplexitySweep(name string, temporal, explicitLoops bool, fracs []floa
 			pt.Times = append(pt.Times, d)
 			xs = append(xs, d.Seconds())
 		}
-		pt.Median = time.Duration(Median(xs) * float64(time.Second))
-		pt.P10 = time.Duration(Percentile(xs, 10) * float64(time.Second))
-		pt.P90 = time.Duration(Percentile(xs, 90) * float64(time.Second))
+		d := NewDist(xs)
+		pt.Median = time.Duration(d.Percentile(50) * float64(time.Second))
+		pt.P10 = time.Duration(d.Percentile(10) * float64(time.Second))
+		pt.P90 = time.Duration(d.Percentile(90) * float64(time.Second))
 		points = append(points, pt)
 	}
 	return points, nil
@@ -277,66 +316,69 @@ type OverheadOutcome struct {
 // SweepTableOverhead measures, per scenario: the baseline maximum table
 // size (direct reconfiguration), Chameleon's maximum during plan execution,
 // and SITN's dual-plane size — each as additional entries relative to the
-// baseline.
-func SweepTableOverhead(names []string, seed uint64, opts scheduler.Options, progress func(OverheadOutcome)) []OverheadOutcome {
-	var out []OverheadOutcome
-	for _, name := range names {
-		o := OverheadOutcome{Name: name}
-		func() {
-			// Baseline: direct application.
-			sBase, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
-			if err != nil {
-				o.Err = err
-				return
-			}
-			sBase.Net.ResetMaxTableEntries()
-			if _, err := snowcap.Apply(sBase.Net, sBase.Commands, []int{0}, time.Second); err != nil {
-				o.Err = err
-				return
-			}
-			o.Baseline = sBase.Net.MaxTableEntries()
-
-			// Chameleon.
-			sCham, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
-			if err != nil {
-				o.Err = err
-				return
-			}
-			pl, err := BuildPipeline(sCham, SpecEq4, opts)
-			if err != nil {
-				o.Err = err
-				return
-			}
-			ex := runtime.NewExecutor(sCham.Net, runtime.DefaultOptions(seed))
-			res, err := ex.Execute(pl.Plan)
-			if err != nil {
-				o.Err = err
-				return
-			}
-			o.Chameleon = float64(res.MaxTableEntries-o.Baseline) / float64(o.Baseline)
-			if o.Chameleon < 0 {
-				o.Chameleon = 0
-			}
-
-			// SITN.
-			sSitn, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
-			if err != nil {
-				o.Err = err
-				return
-			}
-			dual, err := sitn.NewDualPlane(sSitn.Net, sSitn.FinalNetwork(), sSitn.Prefix)
-			if err != nil {
-				o.Err = err
-				return
-			}
-			o.SITN = float64(dual.TableEntries()-o.Baseline) / float64(o.Baseline)
-		}()
-		out = append(out, o)
-		if progress != nil {
-			progress(o)
-		}
+// baseline. Scenarios run workers-wide (≤ 0 means one per CPU); every field
+// derives from the simulation, so the results — and the Fig. 10 CSV — are
+// byte-identical at any worker count.
+func SweepTableOverhead(names []string, seed uint64, opts scheduler.Options, workers int, progress func(OverheadOutcome)) []OverheadOutcome {
+	if opts.SolverNodeBudget == 0 {
+		opts.SolverNodeBudget = scheduler.DeterministicNodeBudget
 	}
-	return out
+	return sweep(workers, names, progress, func(name string) OverheadOutcome {
+		return overheadOutcome(name, seed, opts)
+	})
+}
+
+// overheadOutcome runs one scenario of the §7.3 overhead sweep.
+func overheadOutcome(name string, seed uint64, opts scheduler.Options) OverheadOutcome {
+	o := OverheadOutcome{Name: name}
+	// Baseline: direct application.
+	sBase, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	sBase.Net.ResetMaxTableEntries()
+	if _, err := snowcap.Apply(sBase.Net, sBase.Commands, []int{0}, time.Second); err != nil {
+		o.Err = err
+		return o
+	}
+	o.Baseline = sBase.Net.MaxTableEntries()
+
+	// Chameleon.
+	sCham, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	pl, err := BuildPipeline(sCham, SpecEq4, opts)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	ex := runtime.NewExecutor(sCham.Net, runtime.DefaultOptions(seed))
+	res, err := ex.Execute(pl.Plan)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	o.Chameleon = float64(res.MaxTableEntries-o.Baseline) / float64(o.Baseline)
+	if o.Chameleon < 0 {
+		o.Chameleon = 0
+	}
+
+	// SITN.
+	sSitn, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	dual, err := sitn.NewDualPlane(sSitn.Net, sSitn.FinalNetwork(), sSitn.Prefix)
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	o.SITN = float64(dual.TableEntries()-o.Baseline) / float64(o.Baseline)
+	return o
 }
 
 // --- Fig. 11: external events ------------------------------------------------

@@ -6,12 +6,23 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
 	"chameleon/internal/chaos"
 	"chameleon/internal/traffic"
 )
+
+// sortedByKey returns a copy of rows ordered by the given key, so every
+// CSV writer emits rows in scenario-key order no matter how the caller
+// assembled them (matrix order, completion order, …). The sort is stable:
+// rows with equal keys keep their relative order.
+func sortedByKey[T any](rows []T, less func(a, b T) bool) []T {
+	out := append([]T(nil), rows...)
+	sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
 
 // WriteCaseStudyCSV writes a Fig. 1/6/12-style time series: one row per
 // sample with total/dropped/violating rates and per-egress throughput.
@@ -41,7 +52,8 @@ func WriteCaseStudyCSV(w io.Writer, m *traffic.Measurement) error {
 	return cw.Error()
 }
 
-// WriteSweepCSV writes the Fig. 7 / Fig. 9 / Table 2 sweep results.
+// WriteSweepCSV writes the Fig. 7 / Fig. 9 / Table 2 sweep results, rows
+// sorted by topology name.
 func WriteSweepCSV(w io.Writer, outs []SweepOutcome) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
@@ -50,6 +62,7 @@ func WriteSweepCSV(w io.Writer, outs []SweepOutcome) error {
 	}); err != nil {
 		return err
 	}
+	outs = sortedByKey(outs, func(a, b SweepOutcome) bool { return a.Name < b.Name })
 	for _, o := range outs {
 		errStr := ""
 		if o.Err != nil {
@@ -87,12 +100,13 @@ func WriteSpecSweepCSV(w io.Writer, label string, pts []SpecSweepPoint) error {
 	return cw.Error()
 }
 
-// WriteOverheadCSV writes Fig. 10 results.
+// WriteOverheadCSV writes Fig. 10 results, rows sorted by topology name.
 func WriteOverheadCSV(w io.Writer, outs []OverheadOutcome) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"topology", "baseline_entries", "chameleon_overhead", "sitn_overhead", "error"}); err != nil {
 		return err
 	}
+	outs = sortedByKey(outs, func(a, b OverheadOutcome) bool { return a.Name < b.Name })
 	for _, o := range outs {
 		errStr := ""
 		if o.Err != nil {
@@ -155,8 +169,19 @@ func SaveAllCSV(dir string, r *CaseStudyResult) error {
 }
 
 // WriteChaosCSV writes one row per chaos case: the fault matrix cell, its
-// outcome, and the full fault/recovery accounting.
+// outcome, and the full fault/recovery accounting. Rows are sorted by the
+// (topology, fault, seed) case key, so the file is stable regardless of the
+// order the sweep produced them in.
 func WriteChaosCSV(w io.Writer, results []chaos.CaseResult) error {
+	results = sortedByKey(results, func(a, b chaos.CaseResult) bool {
+		if a.Topology != b.Topology {
+			return a.Topology < b.Topology
+		}
+		if a.Fault != b.Fault {
+			return a.Fault < b.Fault
+		}
+		return a.Seed < b.Seed
+	})
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"topology", "fault", "seed", "outcome", "sim_duration_s", "rounds",

@@ -7,14 +7,30 @@ import (
 	"strings"
 )
 
-// Percentile returns the p-th percentile (0–100) of xs by linear
-// interpolation; xs need not be sorted.
-func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
+// Dist is a sample distribution sorted once at construction, so report
+// loops asking for several quantiles (median, P10, P90, CDF, …) of the same
+// data pay for a single copy-and-sort instead of one per call.
+type Dist struct {
+	sorted []float64
+}
+
+// NewDist copies and sorts xs once. The zero-length distribution is valid:
+// every statistic of it is 0.
+func NewDist(xs []float64) *Dist {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return &Dist{sorted: s}
+}
+
+// N returns the sample count.
+func (d *Dist) N() int { return len(d.sorted) }
+
+// Percentile returns the p-th percentile (0–100) by linear interpolation.
+func (d *Dist) Percentile(p float64) float64 {
+	s := d.sorted
+	if len(s) == 0 {
+		return 0
+	}
 	if p <= 0 {
 		return s[0]
 	}
@@ -28,6 +44,74 @@ func Percentile(xs []float64, p float64) float64 {
 		return s[lo]
 	}
 	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (d *Dist) Median() float64 { return d.Percentile(50) }
+
+// Mean returns the arithmetic mean.
+func (d *Dist) Mean() float64 { return Mean(d.sorted) }
+
+// CDF returns the empirical cumulative distribution as (value, fraction)
+// pairs at each distinct data point.
+func (d *Dist) CDF() (values, fractions []float64) {
+	s := d.sorted
+	for i, v := range s {
+		if i+1 < len(s) && s[i+1] == v {
+			continue
+		}
+		values = append(values, v)
+		fractions = append(fractions, float64(i+1)/float64(len(s)))
+	}
+	return values, fractions
+}
+
+// FractionBelow returns the fraction of samples ≤ x.
+func (d *Dist) FractionBelow(x float64) float64 {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	// First index whose value exceeds x, on the sorted data.
+	lo, hi := 0, len(d.sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.sorted[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return float64(lo) / float64(len(d.sorted))
+}
+
+// Percentile returns the p-th percentile (0–100) of xs by linear
+// interpolation; xs need not be sorted. The extremes are symmetric no-copy
+// fast paths: p ≤ 0 is a min scan and p ≥ 100 a max scan, neither copying
+// nor sorting. Callers needing several quantiles of one sample should sort
+// once via NewDist instead.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		min := xs[0]
+		for _, x := range xs[1:] {
+			if x < min {
+				min = x
+			}
+		}
+		return min
+	}
+	if p >= 100 {
+		max := xs[0]
+		for _, x := range xs[1:] {
+			if x > max {
+				max = x
+			}
+		}
+		return max
+	}
+	return NewDist(xs).Percentile(p)
 }
 
 // Median returns the 50th percentile.
@@ -48,19 +132,7 @@ func Mean(xs []float64) float64 {
 // CDF returns the empirical cumulative distribution as (value, fraction)
 // pairs at each distinct data point.
 func CDF(xs []float64) (values, fractions []float64) {
-	if len(xs) == 0 {
-		return nil, nil
-	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
-	for i, v := range s {
-		if i+1 < len(s) && s[i+1] == v {
-			continue
-		}
-		values = append(values, v)
-		fractions = append(fractions, float64(i+1)/float64(len(s)))
-	}
-	return values, fractions
+	return NewDist(xs).CDF()
 }
 
 // FractionBelow returns the fraction of samples ≤ x.
@@ -118,10 +190,11 @@ func AsciiCDF(title, unit string, xs []float64, marks []float64) string {
 	if len(xs) == 0 {
 		return b.String()
 	}
+	d := NewDist(xs)
 	for _, m := range marks {
-		fmt.Fprintf(&b, "  ≤ %8.1f %s : %5.1f%%\n", m, unit, 100*FractionBelow(xs, m))
+		fmt.Fprintf(&b, "  ≤ %8.1f %s : %5.1f%%\n", m, unit, 100*d.FractionBelow(m))
 	}
 	fmt.Fprintf(&b, "  min %.2f / median %.2f / mean %.2f / p90 %.2f / max %.2f %s\n",
-		Percentile(xs, 0), Median(xs), Mean(xs), Percentile(xs, 90), Percentile(xs, 100), unit)
+		d.Percentile(0), d.Median(), d.Mean(), d.Percentile(90), d.Percentile(100), unit)
 	return b.String()
 }

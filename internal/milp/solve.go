@@ -38,6 +38,16 @@ type Options struct {
 	// ImprovementTimeLimit bounds, in SolveIterative, the improvement
 	// loop after the first feasible solution (0: use TimeLimit).
 	ImprovementTimeLimit time.Duration
+	// NodeLimit bounds the total node budget handed out across restart
+	// attempts (0: unlimited). Unlike TimeLimit it is deterministic: the
+	// same model under the same limit returns the same result regardless
+	// of machine speed or load. Callers wanting reproducible solves set
+	// it and leave TimeLimit at 0.
+	NodeLimit int64
+	// ImprovementNodeLimit bounds, in SolveIterative, each improvement
+	// iteration by a node budget instead of wall-clock time; when set it
+	// replaces ImprovementTimeLimit. Deterministic like NodeLimit.
+	ImprovementNodeLimit int64
 	// NoRestarts disables randomized geometric restarts. Restarts (on by
 	// default) bound each search attempt by a doubling node budget and
 	// reshuffle the branch order between attempts, taming the
@@ -121,10 +131,21 @@ func (m *Model) solveWithRestarts(opts Options) (*Solution, error) {
 	}
 	order := append([]VarID(nil), opts.BranchOrder...)
 	rng := rand.New(rand.NewPCG(0x9e3779b97f4a7c15, uint64(len(m.cons))))
+	var handedOut int64 // node budget granted so far, against NodeLimit
 	for attempt := 0; ; attempt++ {
 		inner := opts
 		inner.NoRestarts = true
 		inner.MaxNodes = budget
+		if opts.NodeLimit > 0 {
+			remaining := opts.NodeLimit - handedOut
+			if remaining <= 0 {
+				return nil, ErrTimeout
+			}
+			if inner.MaxNodes > remaining {
+				inner.MaxNodes = remaining
+			}
+			handedOut += inner.MaxNodes
+		}
 		if opts.TimeLimit > 0 {
 			remaining := time.Until(deadline)
 			if remaining <= 0 {
@@ -157,6 +178,9 @@ func (m *Model) solveWithRestarts(opts Options) (*Solution, error) {
 }
 
 func (m *Model) solveOnce(opts Options) (*Solution, error) {
+	if opts.MaxNodes == 0 && opts.NodeLimit > 0 {
+		opts.MaxNodes = opts.NodeLimit
+	}
 	s := &searcher{
 		m:     m,
 		lo:    append([]int64(nil), m.lo...),
@@ -236,10 +260,19 @@ func (m *Model) SolveIterative(opts Options) (*Solution, error) {
 		improvement = opts.TimeLimit
 	}
 	var deadline time.Time
-	if improvement > 0 {
+	if opts.ImprovementNodeLimit == 0 && improvement > 0 {
 		deadline = time.Now().Add(improvement)
 	}
 	budget := func() bool {
+		if opts.ImprovementNodeLimit > 0 {
+			// Deterministic mode: each iteration gets a fixed node
+			// budget and no clock. The loop still terminates — every
+			// iteration either strictly improves the objective
+			// (bounded below) or errors out of the loop.
+			inner.TimeLimit = 0
+			inner.NodeLimit = opts.ImprovementNodeLimit
+			return true
+		}
 		if improvement == 0 {
 			return true
 		}

@@ -1,0 +1,123 @@
+// Package pool implements the bounded worker pool behind the parallel
+// evaluation engine: N-wide fan-out over an indexed work list with results
+// merged back in index order, so callers produce byte-identical output at
+// any worker count. Scenario runs are embarrassingly parallel — every run
+// owns its network, executor and RNG streams — which makes index-ordered
+// result slots the only synchronization the sweeps need.
+//
+// The pool captures worker panics (a panicking scenario must not take the
+// whole sweep down with an opaque crash), honors context cancellation, and
+// reports the error of the *lowest* failed index rather than the first
+// failure in completion order, keeping even the error path deterministic.
+package pool
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// PanicError wraps a panic recovered from a worker, preserving the work
+// index, the panic value and the goroutine stack.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Workers clamps a requested worker count: values ≤ 0 mean "one worker per
+// CPU" (runtime.NumCPU), and the count never exceeds n, the number of work
+// items.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
+// and returns the n results in index order — never in completion order —
+// so the output is independent of scheduling. A fn error or panic cancels
+// the context handed to the remaining calls; already-running calls still
+// complete and their results are kept. The returned error is the error of
+// the lowest failed index (a recovered panic surfaces as *PanicError).
+//
+// fn must be safe for concurrent invocation; distinct calls never share a
+// result slot.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	workers = Workers(workers, n)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				run(ctx, i, fn, results, errs)
+				if errs[i] != nil {
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Unstarted items report the cancellation cause.
+			errs[i] = ctx.Err()
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// run executes one work item, converting a panic into a *PanicError in the
+// item's error slot.
+func run[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error), results []T, errs []error) {
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 64<<10)
+			errs[i] = &PanicError{Index: i, Value: v, Stack: buf[:runtime.Stack(buf, false)]}
+		}
+	}()
+	results[i], errs[i] = fn(ctx, i)
+}
+
+// ForEach is Map for work that communicates only through side effects
+// (each call writing its own pre-allocated slot): it runs fn(ctx, i) for
+// every i in [0, n) on at most workers goroutines with the same
+// cancellation, panic-capture and lowest-index error semantics.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

@@ -1,0 +1,151 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	const n = 64
+	for _, workers := range []int{1, 3, 8, 0} {
+		out, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+			// Finish in roughly reverse order to stress completion-order
+			// independence.
+			time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak int64
+	_, err := Map(context.Background(), workers, 50, func(_ context.Context, i int) (int, error) {
+		cur := atomic.AddInt64(&active, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if cur <= p || atomic.CompareAndSwapInt64(&peak, p, cur) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		atomic.AddInt64(&active, -1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&peak); got > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestMapPanicCapture(t *testing.T) {
+	out, err := Map(context.Background(), 4, 8, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 5 || pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("panic error incomplete: %+v", pe)
+	}
+	if out == nil {
+		t.Error("results dropped on panic")
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	// Every call fails; the reported error must be index 0's regardless of
+	// completion order.
+	err := ForEach(context.Background(), 4, 16, func(_ context.Context, i int) error {
+		time.Sleep(time.Duration(16-i) * 50 * time.Microsecond)
+		return fmt.Errorf("task %d failed", i)
+	})
+	if err == nil || err.Error() != "task 0 failed" {
+		t.Errorf("err = %v, want task 0's error", err)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	var started int64
+	block := make(chan struct{})
+	var once sync.Once
+	err := ForEach(context.Background(), 2, 100, func(ctx context.Context, i int) error {
+		atomic.AddInt64(&started, 1)
+		if i == 0 {
+			once.Do(func() { close(block) })
+			return errors.New("first failure")
+		}
+		<-block
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+			return nil
+		}
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	// Cancellation must stop the feed: far fewer than 100 tasks may start.
+	if s := atomic.LoadInt64(&started); s == 100 {
+		t.Errorf("all %d tasks started despite early failure", s)
+	}
+}
+
+func TestMapParentContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 4, 10, func(ctx context.Context, i int) (int, error) {
+		return i, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Error("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty Map = %v, %v", out, err)
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	if w := Workers(8, 3); w != 3 {
+		t.Errorf("Workers(8,3) = %d", w)
+	}
+	if w := Workers(2, 100); w != 2 {
+		t.Errorf("Workers(2,100) = %d", w)
+	}
+	if w := Workers(0, 100); w < 1 {
+		t.Errorf("Workers(0,100) = %d", w)
+	}
+	if w := Workers(-1, 0); w != 1 {
+		t.Errorf("Workers(-1,0) = %d", w)
+	}
+}

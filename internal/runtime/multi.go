@@ -16,6 +16,7 @@ func (e *Executor) ExecuteMulti(mp *plan.MultiPlan) (*Result, error) {
 	if !e.net.Converged() {
 		return nil, fmt.Errorf("runtime: network not converged at start")
 	}
+	e.beginRun()
 	res := &Result{Start: e.net.Now()}
 	e.rec = RecoveryStats{}
 	for _, p := range mp.Plans {

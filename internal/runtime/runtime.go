@@ -167,6 +167,10 @@ type Executor struct {
 	// latter also reports aborted executions).
 	rec RecoveryStats
 
+	// runs counts executions on this executor; each gets its own derived
+	// RNG stream (see beginRun).
+	runs uint64
+
 	// betweenDone tracks which original-command slots have been applied,
 	// so a ReactCommit cut-over applies exactly the pending ones.
 	betweenDone []bool
@@ -205,6 +209,24 @@ func NewExecutor(net *sim.Network, opts Options) *Executor {
 // Recovery returns the self-healing statistics of the most recent
 // execution, including executions that ended in an error or abort.
 func (e *Executor) Recovery() RecoveryStats { return e.rec }
+
+// beginRun gives the starting execution exclusive RNG streams: run r's
+// latency and backoff draws (and, via Network.BeginRun, the network's
+// message-jitter draws) are a pure function of (Options.Seed, r), never of
+// how many draws earlier executions on the same executor or network
+// consumed. Without this, sequential runs on one network interleave draws
+// and fault/latency schedules stop being reproducible from the seed alone —
+// exactly the nondeterminism that would poison parallel sweeps built from
+// ExecuteSplit-style multi-run pipelines. Run 0 keeps the constructor
+// stream, so single-execution results are bit-identical to prior behavior.
+func (e *Executor) beginRun() {
+	if e.runs > 0 {
+		s := sim.DeriveSeed(e.opts.Seed, e.runs)
+		e.rng = rand.New(rand.NewPCG(s, s^0xe7037ed1a0b428db))
+	}
+	e.runs++
+	e.net.BeginRun()
+}
 
 func (e *Executor) latency() time.Duration {
 	span := e.opts.MaxCommandLatency - e.opts.MinCommandLatency
@@ -246,6 +268,7 @@ func (e *Executor) Execute(p *plan.Plan) (*Result, error) {
 	if !e.net.Converged() {
 		return nil, fmt.Errorf("runtime: network not converged at start")
 	}
+	e.beginRun()
 	res := &Result{Start: e.net.Now()}
 	e.rec = RecoveryStats{}
 	e.net.RecordInitialState(p.Prefix)

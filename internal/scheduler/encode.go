@@ -125,6 +125,14 @@ func (e *encoder) solve() (*NodeSchedule, milp.Stats, error) {
 		UseLPBound:           e.opts.UseLPBound,
 		FirstSolution:        !e.opts.MinimizeTempSessions,
 	}
+	if e.opts.SolverNodeBudget > 0 {
+		// Deterministic mode: node budgets replace every clock, so the
+		// solve is reproducible under any machine load.
+		opts.TimeLimit = 0
+		opts.NodeLimit = e.opts.SolverNodeBudget
+		opts.ImprovementTimeLimit = 0
+		opts.ImprovementNodeLimit = e.opts.SolverNodeBudget
+	}
 	var sol *milp.Solution
 	var err error
 	if e.opts.MinimizeTempSessions {

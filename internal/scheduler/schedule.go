@@ -94,6 +94,18 @@ type Options struct {
 	// the first feasible schedule at the minimal R (default 2s); on
 	// expiry the best schedule found so far is returned.
 	ObjectiveTimeLimit time.Duration
+	// SolverNodeBudget, when > 0, switches every solver budget from
+	// wall-clock to a deterministic node count: scan attempts get
+	// SolverNodeBudget nodes each, retry attempts 8×, slack attempts 2×,
+	// and the temp-session minimization SolverNodeBudget nodes per
+	// improvement iteration. ScanTimePerRound, TimeLimitPerRound and
+	// ObjectiveTimeLimit are then ignored, so the schedule for a given
+	// analysis and spec is machine- and load-independent — which the
+	// parallel evaluation sweeps rely on to merge byte-identical results
+	// at any worker count. The cost is that an under-budgeted search is
+	// truncated at the same point everywhere rather than stretching on a
+	// fast idle machine.
+	SolverNodeBudget int64
 	// ExplicitLoopConstraints adds the Eq. 3 cycle constraints (§4.4).
 	// They are implied by the concurrency constraints (App. D) but reduce
 	// solving variance; default true, disabled for the Fig. 13 ablation.
@@ -110,6 +122,12 @@ type Options struct {
 	// updates — quantifies how much concurrency shortens reconfigurations).
 	SerializeUpdates bool
 }
+
+// DeterministicNodeBudget is the SolverNodeBudget the evaluation sweeps
+// use. Calibrated at ≈ 3× the total nodes the hardest corpus scenario
+// (Sprint) needs to reach a proven-optimal schedule, so the budget changes
+// results only where the wall-clock limits would have truncated anyway.
+const DeterministicNodeBudget = 1 << 15
 
 // DefaultOptions mirror the paper's configuration.
 func DefaultOptions() Options {
@@ -154,10 +172,11 @@ func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule,
 			MOld: map[topology.NodeID]topology.NodeID{},
 			MNew: map[topology.NodeID]topology.NodeID{}, Stats: agg}, nil
 	}
-	attempt := func(r int, budget time.Duration) (*NodeSchedule, error) {
+	attempt := func(r int, budget time.Duration, nodes int64) (*NodeSchedule, error) {
 		agg.RoundsTried++
 		o := opts
 		o.TimeLimitPerRound = budget
+		o.SolverNodeBudget = nodes
 		enc := newEncoder(a, sp, r, o)
 		sched, stats, err := enc.solve()
 		agg.SolverNodes += stats.Nodes
@@ -183,7 +202,7 @@ func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule,
 	// undecided rounds alike (larger round counts are usually easier).
 	var undecided []int
 	for r := 1; r <= opts.MaxRounds; r++ {
-		sched, err := attempt(r, opts.ScanTimePerRound)
+		sched, err := attempt(r, opts.ScanTimePerRound, opts.SolverNodeBudget)
 		if err == nil {
 			return finish(sched)
 		}
@@ -199,17 +218,25 @@ func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule,
 		if per < 2*opts.ScanTimePerRound {
 			per = 2 * opts.ScanTimePerRound
 		}
-		deadline := time.Now().Add(opts.TimeLimitPerRound)
+		// In node-budget mode the retry pass needs no shared wall-clock
+		// deadline: each attempt's node budget bounds it by itself, and a
+		// deadline would reintroduce load dependence.
+		var deadline time.Time
+		if opts.SolverNodeBudget == 0 {
+			deadline = time.Now().Add(opts.TimeLimitPerRound)
+		}
 		for _, r := range undecided {
 			budget := per
-			if remaining := time.Until(deadline); remaining < budget {
-				budget = remaining
+			if opts.SolverNodeBudget == 0 {
+				if remaining := time.Until(deadline); remaining < budget {
+					budget = remaining
+				}
+				if budget <= 0 {
+					lastErr = fmt.Errorf("scheduler: retry budget exhausted: %w", milp.ErrTimeout)
+					break
+				}
 			}
-			if budget <= 0 {
-				lastErr = fmt.Errorf("scheduler: retry budget exhausted: %w", milp.ErrTimeout)
-				break
-			}
-			sched, err := attempt(r, budget)
+			sched, err := attempt(r, budget, 8*opts.SolverNodeBudget)
 			if err == nil {
 				return finish(sched)
 			}
@@ -226,7 +253,7 @@ func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule,
 		slackBudget := 2 * opts.ScanTimePerRound
 		var best *NodeSchedule
 		for factor := 2; factor <= 4; factor *= 2 {
-			if sched, err := attempt(factor*opts.MaxRounds, slackBudget); err == nil {
+			if sched, err := attempt(factor*opts.MaxRounds, slackBudget, 2*opts.SolverNodeBudget); err == nil {
 				best = sched
 				break
 			}
@@ -235,7 +262,7 @@ func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule,
 			lo := opts.MaxRounds // everything ≤ MaxRounds was undecided
 			for lo+1 < best.R {
 				mid := (lo + best.R) / 2
-				if sched, err := attempt(mid, slackBudget); err == nil {
+				if sched, err := attempt(mid, slackBudget, 2*opts.SolverNodeBudget); err == nil {
 					best = sched
 				} else {
 					lo = mid

@@ -74,6 +74,10 @@ type Network struct {
 	// command tokens so an abort can cancel them deterministically.
 	faults      FaultInjector
 	pendingCmds []*CommandToken
+
+	// run counts BeginRun calls: the index of the current run-scoped jitter
+	// stream (0 = the constructor stream).
+	run uint64
 }
 
 // New builds a network over g with all BGP state empty.
@@ -99,6 +103,23 @@ func New(g *topology.Graph, opts Options) *Network {
 		n.routers = append(n.routers, newRouter(node.ID, node.External))
 	}
 	return n
+}
+
+// BeginRun gives the next execution on this network exclusive ownership of
+// the message-jitter RNG: run r (r ≥ 1) draws from a fresh PCG stream
+// derived from (Options.Seed, r), so its jitter schedule is a pure function
+// of the scenario seed and the run index — not of how many draws earlier
+// runs on the same network consumed. Run 0 keeps the constructor stream,
+// which also covers the scenario's initial bring-up convergence, so
+// single-execution behavior (and every historical result) is unchanged.
+// It returns the run index.
+func (n *Network) BeginRun() uint64 {
+	if n.run > 0 {
+		s := DeriveSeed(n.opts.Seed, n.run)
+		n.rng = rand.New(rand.NewPCG(s, s^0xda3e39cb94b95bdb))
+	}
+	n.run++
+	return n.run - 1
 }
 
 // Graph returns the underlying topology.

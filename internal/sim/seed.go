@@ -1,0 +1,20 @@
+package sim
+
+// DeriveSeed maps (base seed, stream index) to an independent PCG stream
+// seed via two SplitMix64 rounds. Every scenario run in a sweep — and every
+// repeated execution on one network — derives its own stream this way, so
+// its random draws are a pure function of (base seed, index) rather than of
+// how many draws earlier runs happened to consume. SplitMix64 is the
+// standard seeding mixer for PCG-family generators: consecutive indices land
+// in statistically unrelated regions of the state space.
+func DeriveSeed(base, stream uint64) uint64 {
+	x := base + 0x9e3779b97f4a7c15*(stream+1)
+	for i := 0; i < 2; i++ {
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	return x
+}

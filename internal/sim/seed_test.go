@@ -1,0 +1,65 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"chameleon/internal/scenario"
+	"chameleon/internal/sim"
+)
+
+func TestDeriveSeedStreamsDistinct(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for base := uint64(0); base < 8; base++ {
+		for stream := uint64(0); stream < 128; stream++ {
+			s := sim.DeriveSeed(base, stream)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("DeriveSeed(%d, %d) collides with earlier stream %d", base, stream, prev)
+			}
+			seen[s] = stream
+			if s != sim.DeriveSeed(base, stream) {
+				t.Fatalf("DeriveSeed(%d, %d) is not a pure function", base, stream)
+			}
+		}
+	}
+}
+
+// TestBeginRunIsolatesStreams checks the per-run RNG ownership fix: once a
+// network is past run 0, identical actions on identical converged state must
+// take identical simulated time, no matter how many jitter draws earlier
+// activity on that particular network consumed.
+func TestBeginRunIsolatesStreams(t *testing.T) {
+	a := scenario.RunningExample()
+	b := scenario.RunningExample()
+
+	// Consume extra jitter draws on a only: flap an eBGP session and let
+	// it recover. The converged state matches b's again, but a's
+	// constructor RNG stream has advanced past b's.
+	if !a.Net.FlapSession(a.E1, a.Ext[0], 100*time.Millisecond) {
+		t.Fatal("no session between E1 and its external peer")
+	}
+	a.Net.Run()
+	if !a.Net.ForwardingState(a.Prefix).Equal(b.Net.ForwardingState(b.Prefix)) {
+		t.Fatal("flap did not recover to the original forwarding state")
+	}
+
+	// Run 0 keeps the constructor stream (preserving historical traces);
+	// every later run reseeds from (seed, run).
+	for _, n := range []*sim.Network{a.Net, b.Net} {
+		if got := n.BeginRun(); got != 0 {
+			t.Fatalf("first BeginRun = %d, want 0", got)
+		}
+		if got := n.BeginRun(); got != 1 {
+			t.Fatalf("second BeginRun = %d, want 1", got)
+		}
+	}
+
+	ta, tb := a.Net.Now(), b.Net.Now()
+	a.Net.FlapSession(a.E1, a.Ext[0], 100*time.Millisecond)
+	b.Net.FlapSession(b.E1, b.Ext[0], 100*time.Millisecond)
+	a.Net.Run()
+	b.Net.Run()
+	if da, db := a.Net.Now()-ta, b.Net.Now()-tb; da != db {
+		t.Errorf("run-1 flap recovery took %v on the pre-used network vs %v on the fresh one", da, db)
+	}
+}
