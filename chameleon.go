@@ -22,15 +22,23 @@
 //	s, _ := chameleon.NewCaseStudy("Abilene", 7)
 //	rec, _ := chameleon.Plan(s, chameleon.PlanOptions{})
 //	result, _ := rec.Execute(chameleon.ExecOptions{})
+//
+// Plan and Execute are context.Background() shorthands for PlanCtx and
+// ExecuteCtx, which additionally accept a context for cancellation (it
+// reaches into the ILP branch-and-bound and the runtime's supervision
+// loop) and, via the options' Recorder field, structured tracing and
+// metrics of the whole pipeline (see NewRecorder).
 package chameleon
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"chameleon/internal/analyzer"
 	"chameleon/internal/bgp"
 	"chameleon/internal/eval"
+	"chameleon/internal/obs"
 	"chameleon/internal/plan"
 	"chameleon/internal/runtime"
 	"chameleon/internal/scenario"
@@ -65,7 +73,20 @@ type (
 	ExecResult = runtime.Result
 	// Analysis is the analyzer's happens-before description.
 	Analysis = analyzer.Analysis
+	// Recorder collects structured traces (hierarchical spans on the
+	// simulated clock) and monotonic counters from every pipeline stage
+	// it is handed to. It is safe for concurrent use, and a nil *Recorder
+	// is a valid no-op: observability costs nothing unless asked for.
+	Recorder = obs.Recorder
 )
+
+// NewRecorder returns an empty Recorder. Hand it to PlanOptions.Recorder
+// and ExecOptions.Recorder (or carry it in a context via the internal obs
+// package's WithRecorder for the eval and chaos sweeps), then export with
+// its WriteJSONL, WriteMetrics or FlameSummary methods. Recorded ticks and
+// simulated-clock stamps are deterministic: the same reconfiguration
+// produces byte-identical dumps on any machine at any concurrency.
+func NewRecorder() *Recorder { return obs.New() }
 
 // NewGraph returns an empty topology.
 func NewGraph(name string) *Graph { return topology.New(name) }
@@ -108,13 +129,59 @@ type PlanOptions struct {
 	Spec *Spec
 	// MaxRounds caps the round-minimization loop (default 16).
 	MaxRounds int
+	// SolverNodeBudget bounds each feasibility solve by explored
+	// branch-and-bound nodes instead of wall-clock time, making the
+	// schedule a pure function of the scenario — independent of machine
+	// speed, load, and concurrency. When zero and no wall-clock limit
+	// below is set either, planning defaults to the evaluation sweeps'
+	// deterministic budget.
+	SolverNodeBudget int64
 	// TimeLimitPerRound bounds each feasibility solve (default 60 s).
+	//
+	// Deprecated: wall-clock solver budgets make the resulting schedule
+	// depend on how fast and how loaded the machine is, so two runs of
+	// the same reconfiguration need not reproduce. Set SolverNodeBudget
+	// instead; TimeLimitPerRound is still honored when nonzero.
 	TimeLimitPerRound time.Duration
-	// ObjectiveTimeLimit bounds temp-session minimization (default 5 s).
+	// ObjectiveTimeLimit bounds temp-session minimization (default 2 s).
+	//
+	// Deprecated: wall-clock, hence non-reproducible — see
+	// TimeLimitPerRound. Set SolverNodeBudget instead; ObjectiveTimeLimit
+	// is still honored when nonzero.
 	ObjectiveTimeLimit time.Duration
 	// DisableLoopConstraints drops the explicit Eq. 3 constraints
 	// (App. D ablation).
 	DisableLoopConstraints bool
+	// Recorder, when non-nil, traces planning: an analyze span, a
+	// schedule span with one solve child per attempted round count, and
+	// solver-effort counters (nodes, propagations, LP pivots).
+	Recorder *Recorder
+}
+
+// normalize translates the facade options into scheduler options,
+// applying the documented defaults. It is the single place planning
+// defaults are decided.
+func (o PlanOptions) normalize() scheduler.Options {
+	so := scheduler.DefaultOptions()
+	if o.MaxRounds > 0 {
+		so.MaxRounds = o.MaxRounds
+	}
+	if o.TimeLimitPerRound > 0 {
+		so.TimeLimitPerRound = o.TimeLimitPerRound
+	}
+	if o.ObjectiveTimeLimit > 0 {
+		so.ObjectiveTimeLimit = o.ObjectiveTimeLimit
+	}
+	so.ExplicitLoopConstraints = !o.DisableLoopConstraints
+	switch {
+	case o.SolverNodeBudget > 0:
+		so.SolverNodeBudget = o.SolverNodeBudget
+	case o.TimeLimitPerRound == 0 && o.ObjectiveTimeLimit == 0:
+		// Nobody asked for wall-clock budgets: default to the
+		// deterministic node budget so planning reproduces bit-for-bit.
+		so.SolverNodeBudget = scheduler.DeterministicNodeBudget
+	}
+	return so
 }
 
 // Reconfiguration is a fully planned reconfiguration, ready to execute.
@@ -127,8 +194,21 @@ type Reconfiguration struct {
 }
 
 // Plan runs Chameleon's analyzer, scheduler and compiler on a scenario.
+// It is PlanCtx with a background context.
 func Plan(s *Scenario, opts PlanOptions) (*Reconfiguration, error) {
-	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	return PlanCtx(context.Background(), s, opts)
+}
+
+// PlanCtx plans with a context: cancelling ctx aborts the ILP
+// branch-and-bound mid-solve (the search polls the context every few
+// hundred nodes) and returns ctx's error. When opts.Recorder is set — or
+// ctx already carries a recorder — the whole pipeline is traced under a
+// "plan" span.
+func PlanCtx(ctx context.Context, s *Scenario, opts PlanOptions) (*Reconfiguration, error) {
+	ctx = obs.WithRecorder(ctx, opts.Recorder)
+	ctx, span := obs.StartSpan(ctx, "plan", obs.String("scenario", s.Name))
+	defer span.End()
+	a, err := analyzer.AnalyzeCtx(ctx, s.Net, s.FinalNetwork(), s.Prefix)
 	if err != nil {
 		return nil, fmt.Errorf("chameleon: analyze: %w", err)
 	}
@@ -136,18 +216,7 @@ func Plan(s *Scenario, opts PlanOptions) (*Reconfiguration, error) {
 	if sp == nil {
 		sp = eval.ReachabilitySpec(s.Graph)
 	}
-	schedOpts := scheduler.DefaultOptions()
-	if opts.MaxRounds > 0 {
-		schedOpts.MaxRounds = opts.MaxRounds
-	}
-	if opts.TimeLimitPerRound > 0 {
-		schedOpts.TimeLimitPerRound = opts.TimeLimitPerRound
-	}
-	if opts.ObjectiveTimeLimit > 0 {
-		schedOpts.ObjectiveTimeLimit = opts.ObjectiveTimeLimit
-	}
-	schedOpts.ExplicitLoopConstraints = !opts.DisableLoopConstraints
-	sched, err := scheduler.Schedule(a, sp, schedOpts)
+	sched, err := scheduler.ScheduleCtx(ctx, a, sp, opts.normalize())
 	if err != nil {
 		return nil, fmt.Errorf("chameleon: schedule: %w", err)
 	}
@@ -168,23 +237,45 @@ type ExecOptions struct {
 	// CommandLatency overrides the 8–12 s router latency with a fixed
 	// value when nonzero.
 	CommandLatency time.Duration
+	// Recorder, when non-nil, traces execution: an execute span with one
+	// child per round (plus commit/cleanup phases), per-phase BGP message
+	// and command counters, and the recovery ladder's counters (retries,
+	// re-pushes, escalations, lost acks, healed faults).
+	Recorder *Recorder
+}
+
+// normalize translates the facade options into runtime options, applying
+// the documented defaults; defaultSeed is the scenario's seed.
+func (o ExecOptions) normalize(defaultSeed uint64) runtime.Options {
+	seed := o.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	ro := runtime.DefaultOptions(seed)
+	if o.CommandLatency > 0 {
+		ro.MinCommandLatency = o.CommandLatency
+		ro.MaxCommandLatency = o.CommandLatency
+	}
+	ro.Recorder = o.Recorder
+	return ro
 }
 
 // Execute applies the compiled plan to the scenario's live network,
 // mutating it. The returned result carries phase timings and the maximum
-// table size observed (§7.3).
+// table size observed (§7.3). It is ExecuteCtx with a background context.
 func (r *Reconfiguration) Execute(opts ExecOptions) (*ExecResult, error) {
-	seed := opts.Seed
-	if seed == 0 {
-		seed = r.Scenario.Seed
-	}
-	ro := runtime.DefaultOptions(seed)
-	if opts.CommandLatency > 0 {
-		ro.MinCommandLatency = opts.CommandLatency
-		ro.MaxCommandLatency = opts.CommandLatency
-	}
-	ex := runtime.NewExecutor(r.Scenario.Net, ro)
-	return ex.Execute(r.Plan)
+	return r.ExecuteCtx(context.Background(), opts)
+}
+
+// ExecuteCtx executes with a context: cancelling ctx stops the controller
+// between supervision steps mid-round and returns ctx's error, leaving the
+// network in whatever transient state the already-applied commands put it
+// in (callers wanting a clean release can follow up with the runtime
+// executor's Abort). A recorder in opts or ctx traces the execution.
+func (r *Reconfiguration) ExecuteCtx(ctx context.Context, opts ExecOptions) (*ExecResult, error) {
+	ctx = obs.WithRecorder(ctx, opts.Recorder)
+	ex := runtime.NewExecutor(r.Scenario.Net, opts.normalize(r.Scenario.Seed))
+	return ex.ExecuteCtx(ctx, r.Plan)
 }
 
 // Verify evaluates the specification over the forwarding trace recorded

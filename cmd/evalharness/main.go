@@ -17,6 +17,14 @@
 //	evalharness -table 2        # Table 2 (named topologies)
 //	evalharness -chaos          # fault-injection sweep (topologies × fault kinds)
 //	evalharness -all            # everything
+//	evalharness -smoke          # one traced RunningExample run + span-tree validation
+//
+// Observability: -trace FILE writes a structured span trace (JSONL, one
+// span per line, deterministic bytes for deterministic runs) of every
+// instrumented stage; -metrics FILE writes the final counter/gauge dump;
+// -pprof ADDR serves net/http/pprof for live profiling. The process exits
+// nonzero if any sweep's per-scenario run errored, so partially failed
+// sweeps cannot look green in CI.
 //
 // By default the corpus sweeps are capped at -max-nodes (60) routers so a
 // full run finishes on a laptop; pass -full for the entire 106-topology
@@ -31,35 +39,110 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	goruntime "runtime"
 	"sort"
 	"time"
 
+	"chameleon"
 	"chameleon/internal/chaos"
 	"chameleon/internal/eval"
+	"chameleon/internal/obs"
 	"chameleon/internal/scenario"
 	"chameleon/internal/scheduler"
 	"chameleon/internal/topology"
 )
 
 var (
-	figFlag   = flag.String("fig", "", "figure to regenerate (1, 6, 7, 8, 9, 10, 11a, 11b, 12, 13)")
-	tableFlag = flag.String("table", "", "table to regenerate (1, 2)")
-	allFlag   = flag.Bool("all", false, "regenerate every figure and table")
-	fullFlag  = flag.Bool("full", false, "use the full 106-topology corpus (slow)")
-	maxNodes  = flag.Int("max-nodes", 60, "cap corpus topologies at this size unless -full")
-	seedFlag  = flag.Uint64("seed", 7, "scenario seed")
-	runsFlag  = flag.Int("runs", 5, "runs per point for Figs. 8/13 (paper: 20)")
-	topoFlag  = flag.String("topo", "", "override topology for Figs. 8/13 (default: largest within cap)")
+	figFlag     = flag.String("fig", "", "figure to regenerate (1, 6, 7, 8, 9, 10, 11a, 11b, 12, 13)")
+	tableFlag   = flag.String("table", "", "table to regenerate (1, 2)")
+	allFlag     = flag.Bool("all", false, "regenerate every figure and table")
+	fullFlag    = flag.Bool("full", false, "use the full 106-topology corpus (slow)")
+	maxNodes    = flag.Int("max-nodes", 60, "cap corpus topologies at this size unless -full")
+	seedFlag    = flag.Uint64("seed", 7, "scenario seed")
+	runsFlag    = flag.Int("runs", 5, "runs per point for Figs. 8/13 (paper: 20)")
+	topoFlag    = flag.String("topo", "", "override topology for Figs. 8/13 (default: largest within cap)")
 	outFlag     = flag.String("out", "", "directory to write CSV artifacts into (optional)")
 	chaosFlag   = flag.Bool("chaos", false, "run the fault-injection sweep (topologies × fault kinds)")
 	workersFlag = flag.Int("workers", goruntime.NumCPU(), "parallel scenario runs for the corpus and chaos sweeps (1 = sequential)")
+	traceFlag   = flag.String("trace", "", "write a structured span trace (JSONL) of the instrumented runs to this file")
+	metricsFlag = flag.String("metrics", "", "write the final counter/gauge dump to this file")
+	pprofFlag   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	smokeFlag   = flag.Bool("smoke", false, "run one traced RunningExample reconfiguration and validate the span tree (CI gate)")
 )
+
+// recorder observes every instrumented run when -trace/-metrics/-smoke ask
+// for it; runCtx carries it into the sweeps. A nil recorder records
+// nothing.
+var (
+	recorder *obs.Recorder
+	runCtx   = context.Background()
+)
+
+// sweepRunErrs counts per-scenario errors inside otherwise-successful
+// sweeps; a nonzero count fails the process at exit (satisfying "a sweep
+// that partially failed must not look green").
+var sweepRunErrs int
+
+// writeObsArtifacts exports the recorder once, before any exit path.
+func writeObsArtifacts() {
+	if recorder == nil {
+		return
+	}
+	if err := recorder.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "trace validation:", err)
+		sweepRunErrs++
+	}
+	if *traceFlag != "" {
+		if err := writeFile(*traceFlag, recorder.WriteJSONL); err != nil {
+			fmt.Fprintln(os.Stderr, "writing trace:", err)
+			sweepRunErrs++
+		} else if n, err := validateTraceFile(*traceFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "emitted trace ill-formed:", err)
+			sweepRunErrs++
+		} else {
+			fmt.Printf("(wrote %s: %d spans, validated)\n", *traceFlag, n)
+		}
+	}
+	if *metricsFlag != "" {
+		if err := writeFile(*metricsFlag, recorder.WriteMetrics); err != nil {
+			fmt.Fprintln(os.Stderr, "writing metrics:", err)
+			sweepRunErrs++
+		} else {
+			fmt.Printf("(wrote %s)\n", *metricsFlag)
+		}
+	}
+}
+
+// validateTraceFile re-reads an emitted JSONL trace and runs the
+// well-formedness checker over it, returning the span count.
+func validateTraceFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return obs.ValidateJSONL(f)
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // saveCSV writes one CSV artifact when -out is set.
 func saveCSV(name string, write func(io.Writer) error) {
@@ -84,6 +167,19 @@ func saveCSV(name string, write func(io.Writer) error) {
 
 func main() {
 	flag.Parse()
+	if *pprofFlag != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofFlag, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+		fmt.Printf("(pprof listening on http://%s/debug/pprof/)\n", *pprofFlag)
+	}
+	if *traceFlag != "" || *metricsFlag != "" || *smokeFlag {
+		recorder = obs.New()
+		runCtx = obs.WithRecorder(runCtx, recorder)
+	}
+
 	ran := false
 	run := func(name string, f func() error) {
 		ran = true
@@ -91,11 +187,15 @@ func main() {
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			writeObsArtifacts()
 			os.Exit(1)
 		}
 		fmt.Printf("---- %s done in %v\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
+	if *smokeFlag {
+		run("Smoke", smoke)
+	}
 	want := func(id string) bool { return *allFlag || *figFlag == id }
 	if want("1") {
 		run("Figure 1", fig1)
@@ -140,6 +240,47 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	writeObsArtifacts()
+	if sweepRunErrs > 0 {
+		fmt.Fprintf(os.Stderr, "%d sweep run(s) errored\n", sweepRunErrs)
+		os.Exit(1)
+	}
+}
+
+// smoke plans and executes the Fig. 3 running example through the traced,
+// context-aware facade, then checks the recorded span tree for
+// well-formedness and reconciles the execute span's round count with the
+// schedule. It is the CI gate for the observability layer.
+func smoke() error {
+	s := chameleon.RunningExample()
+	rec, err := chameleon.PlanCtx(runCtx, s, chameleon.PlanOptions{})
+	if err != nil {
+		return err
+	}
+	res, err := rec.ExecuteCtx(runCtx, chameleon.ExecOptions{})
+	if err != nil {
+		return err
+	}
+	if err := rec.Verify(res); err != nil {
+		return err
+	}
+	if err := recorder.Validate(); err != nil {
+		return fmt.Errorf("span tree ill-formed: %w", err)
+	}
+	rounds := 0
+	for _, name := range recorder.SpanNames() {
+		var r int
+		if _, err := fmt.Sscanf(name, "round %d", &r); err == nil {
+			rounds++
+		}
+	}
+	if rounds != rec.Schedule.R {
+		return fmt.Errorf("trace has %d round spans, schedule has R=%d", rounds, rec.Schedule.R)
+	}
+	fmt.Printf("smoke: %d spans, %d rounds traced, R=%d, sim duration %.1f s, spec verified\n",
+		recorder.NumSpans(), rounds, rec.Schedule.R, res.Duration().Seconds())
+	fmt.Print(recorder.FlameSummary())
+	return nil
 }
 
 // corpus returns the evaluated topology set under the size cap.
@@ -244,28 +385,36 @@ func fig6() error {
 
 var sweepMemo []eval.SweepOutcome
 
-func schedulingSweep() []eval.SweepOutcome {
+func schedulingSweep() ([]eval.SweepOutcome, error) {
 	if sweepMemo != nil {
 		fmt.Println("(reusing the scheduling sweep computed earlier in this run)")
-		return sweepMemo
+		return sweepMemo, nil
 	}
 	names := corpus()
 	fmt.Printf("sweeping %d scenarios (cap %d nodes, -full=%v, %d workers)\n",
 		len(names), *maxNodes, *fullFlag, *workersFlag)
 	opts := scheduler.DefaultOptions()
-	sweepMemo = eval.SweepScheduling(names, *seedFlag, opts, *workersFlag, func(o eval.SweepOutcome) {
+	outs, err := eval.SweepSchedulingCtx(runCtx, names, *seedFlag, opts, *workersFlag, func(o eval.SweepOutcome) {
 		status := "ok"
 		if o.Err != nil {
 			status = o.Err.Error()
+			sweepRunErrs++
 		}
 		fmt.Printf("  %-22s |N|=%4d  Cr=%6d  R=%2d  sched=%10v  %s\n",
 			o.Name, o.Nodes, o.Cr, o.R, o.SchedulingTime.Round(time.Millisecond), status)
 	})
-	return sweepMemo
+	if err != nil {
+		return nil, err
+	}
+	sweepMemo = outs
+	return sweepMemo, nil
 }
 
 func fig7() error {
-	outs := schedulingSweep()
+	outs, err := schedulingSweep()
+	if err != nil {
+		return err
+	}
 	saveCSV("fig7_scheduling.csv", func(w io.Writer) error { return eval.WriteSweepCSV(w, outs) })
 	var crs, times []float64
 	for _, o := range outs {
@@ -310,7 +459,10 @@ func fig8() error {
 }
 
 func fig9() error {
-	outs := schedulingSweep()
+	outs, err := schedulingSweep()
+	if err != nil {
+		return err
+	}
 	var xs []float64
 	for _, o := range outs {
 		if o.Err == nil {
@@ -327,14 +479,18 @@ func fig9() error {
 func fig10() error {
 	names := corpus()
 	fmt.Printf("table-overhead sweep over %d scenarios (%d workers)\n", len(names), *workersFlag)
-	outs := eval.SweepTableOverhead(names, *seedFlag, scheduler.DefaultOptions(), *workersFlag, func(o eval.OverheadOutcome) {
+	outs, err := eval.SweepTableOverheadCtx(runCtx, names, *seedFlag, scheduler.DefaultOptions(), *workersFlag, func(o eval.OverheadOutcome) {
 		status := "ok"
 		if o.Err != nil {
 			status = o.Err.Error()
+			sweepRunErrs++
 		}
 		fmt.Printf("  %-22s baseline=%5d  chameleon=+%5.1f%%  sitn=+%5.1f%%  %s\n",
 			o.Name, o.Baseline, 100*o.Chameleon, 100*o.SITN, status)
 	})
+	if err != nil {
+		return err
+	}
 	saveCSV("fig10_overhead.csv", func(w io.Writer) error { return eval.WriteOverheadCSV(w, outs) })
 	var cham, sitnXs []float64
 	for _, o := range outs {
@@ -420,7 +576,7 @@ func chaosSweep() error {
 	cfg.Workers = *workersFlag
 	fmt.Printf("chaos sweep: %d topologies × %d fault kinds, seed %d, %d workers\n",
 		len(cfg.Topologies), len(cfg.Faults), *seedFlag, *workersFlag)
-	results, sums, err := chaos.Sweep(cfg, func(r chaos.CaseResult) {
+	results, sums, err := chaos.SweepCtx(runCtx, cfg, func(r chaos.CaseResult) {
 		fmt.Printf("  %-12s %-10s → %-10s faults=%d msg=%d flaps=%d retries=%d repush=%d acks-=%d  %s\n",
 			r.Topology, r.Fault, r.Outcome, r.CommandFaults, r.MessageFaults,
 			r.Flaps, r.Recovery.Retries, r.Recovery.Repushes, r.Recovery.AcksLost, r.Err)
@@ -450,7 +606,7 @@ func table1() error {
 	if err != nil {
 		return err
 	}
-	rec, err := eval.BuildPipeline(s, eval.SpecEq4, scheduler.DefaultOptions())
+	rec, err := eval.BuildPipelineCtx(runCtx, s, eval.SpecEq4, scheduler.DefaultOptions())
 	if err != nil {
 		return err
 	}
@@ -488,11 +644,15 @@ func table2() error {
 		fmt.Println("note: Table 2 uses 113-197 node topologies; running them regardless of -max-nodes")
 	}
 	opts := scheduler.DefaultOptions()
-	outs := eval.SweepScheduling(names, *seedFlag, opts, *workersFlag, nil)
+	outs, err := eval.SweepSchedulingCtx(runCtx, names, *seedFlag, opts, *workersFlag, nil)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%-12s %6s %8s %14s\n", "Topology", "|N|", "Cr", "sched time")
 	for _, o := range outs {
 		if o.Err != nil {
 			fmt.Printf("%-12s %6d %8s %14s (%v)\n", o.Name, o.Nodes, "-", "-", o.Err)
+			sweepRunErrs++
 			continue
 		}
 		fmt.Printf("%-12s %6d %8d %14v\n", o.Name, o.Nodes, o.Cr, o.SchedulingTime.Round(10*time.Millisecond))

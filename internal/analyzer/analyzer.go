@@ -7,10 +7,12 @@
 package analyzer
 
 import (
+	"context"
 	"fmt"
 
 	"chameleon/internal/bgp"
 	"chameleon/internal/fwd"
+	"chameleon/internal/obs"
 	"chameleon/internal/sim"
 	"chameleon/internal/topology"
 )
@@ -63,6 +65,25 @@ func (a *Analysis) SessionExists(x, y topology.NodeID) bool {
 // internal node must hold a route in both states (the paper assumes initial
 // and final configurations are correct).
 func Analyze(initial, final *sim.Network, prefix bgp.Prefix) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), initial, final, prefix)
+}
+
+// AnalyzeCtx is Analyze recording an "analyze" span on the context's
+// *obs.Recorder (if any) with the switching-set size as attributes. The
+// analysis itself is pure and fast; the context carries no cancellation
+// points here.
+func AnalyzeCtx(ctx context.Context, initial, final *sim.Network, prefix bgp.Prefix) (*Analysis, error) {
+	_, span := obs.StartSpan(ctx, "analyze")
+	defer span.End()
+	a, err := analyze(initial, final, prefix)
+	if err == nil {
+		span.SetAttr("switching", fmt.Sprintf("%d", len(a.Switching)))
+		span.SetAttr("equivalent", fmt.Sprintf("%d", len(a.EquivalentSwitch)))
+	}
+	return a, err
+}
+
+func analyze(initial, final *sim.Network, prefix bgp.Prefix) (*Analysis, error) {
 	if !initial.Converged() || !final.Converged() {
 		return nil, fmt.Errorf("analyzer: networks must be converged")
 	}

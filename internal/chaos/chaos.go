@@ -11,6 +11,7 @@ import (
 
 	"chameleon/internal/analyzer"
 	"chameleon/internal/fwd"
+	"chameleon/internal/obs"
 	"chameleon/internal/plan"
 	"chameleon/internal/pool"
 	"chameleon/internal/runtime"
@@ -256,11 +257,28 @@ func verifyInvariants(a *analyzer.Analysis, s *scenario.Scenario, start time.Dur
 // supervision, then classify the outcome and verify the invariants
 // offline. The same Case always produces the identical CaseResult.
 func RunCase(c Case) (*CaseResult, error) {
+	return RunCaseCtx(context.Background(), c)
+}
+
+// RunCaseCtx is RunCase with a context: cancellation propagates into the
+// scheduler's solver and the executor's supervision loop, and a recorder
+// carried by ctx observes the run (a chaos-case span over the analyze,
+// schedule and execute spans, plus the chaos_cases / chaos_violations
+// counters). Observation never perturbs the case: the CaseResult — and its
+// fingerprint — is identical with and without a recorder.
+func RunCaseCtx(ctx context.Context, c Case) (*CaseResult, error) {
+	ctx, span := obs.StartSpan(ctx, "chaos-case",
+		obs.String("topology", c.Topology),
+		obs.String("fault", c.Fault.String()),
+		obs.Int("seed", int64(c.Seed)))
+	defer span.End()
+	span.Add(obs.CtrChaosCases, 1)
+
 	s, err := buildScenario(c.Topology, c.Seed)
 	if err != nil {
 		return nil, err
 	}
-	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	a, err := analyzer.AnalyzeCtx(ctx, s.Net, s.FinalNetwork(), s.Prefix)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +288,7 @@ func RunCase(c Case) (*CaseResult, error) {
 	// not depend on how loaded the machine is or how many sweep workers
 	// share it.
 	schedOpts.SolverNodeBudget = scheduler.DeterministicNodeBudget
-	sched, err := scheduler.Schedule(a, reachabilitySpec(s.Graph), schedOpts)
+	sched, err := scheduler.ScheduleCtx(ctx, a, reachabilitySpec(s.Graph), schedOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -298,7 +316,12 @@ func RunCase(c Case) (*CaseResult, error) {
 	}
 
 	ex := runtime.NewExecutor(s.Net, opts)
-	res, execErr := ex.Execute(p)
+	res, execErr := ex.ExecuteCtx(ctx, p)
+	if cerr := ctx.Err(); cerr != nil {
+		// Caller cancellation is not a controller abort; the case has no
+		// outcome.
+		return nil, cerr
+	}
 	rec := ex.Recovery()
 
 	out := &CaseResult{
@@ -339,6 +362,10 @@ func RunCase(c Case) (*CaseResult, error) {
 				out.Outcome = OutcomeClean
 			}
 		}
+	}
+
+	if n := len(out.Violations); n > 0 {
+		span.Add(obs.CtrChaosViolations, int64(n))
 	}
 
 	h := fnv.New64a()
@@ -395,6 +422,16 @@ type Summary struct {
 // each result as it completes; with Workers > 1 that order varies between
 // runs even though the returned results never do.
 func Sweep(cfg SweepConfig, progress func(CaseResult)) ([]CaseResult, []Summary, error) {
+	return SweepCtx(context.Background(), cfg, progress)
+}
+
+// SweepCtx is Sweep with a context. Cancellation stops the matrix (cases
+// already running finish their current solver/supervision poll and bail).
+// When ctx carries an obs.Recorder, every case runs against its own forked
+// recorder; after the pool drains, the forks are folded into the carried
+// recorder in matrix order (obs.Recorder.Adopt), so the merged trace and
+// metric dump are byte-identical at any worker count.
+func SweepCtx(ctx context.Context, cfg SweepConfig, progress func(CaseResult)) ([]CaseResult, []Summary, error) {
 	var cases []Case
 	for _, topo := range cfg.Topologies {
 		for _, kind := range cfg.Faults {
@@ -404,10 +441,20 @@ func Sweep(cfg SweepConfig, progress func(CaseResult)) ([]CaseResult, []Summary,
 		}
 	}
 
+	parent := obs.RecorderFrom(ctx)
+	var recs []*obs.Recorder
+	if parent != nil {
+		recs = make([]*obs.Recorder, len(cases))
+	}
+
 	var mu sync.Mutex
-	results, err := pool.Map(context.Background(), cfg.Workers, len(cases), func(_ context.Context, i int) (CaseResult, error) {
+	results, err := pool.Map(ctx, cfg.Workers, len(cases), func(wctx context.Context, i int) (CaseResult, error) {
 		c := cases[i]
-		r, err := RunCase(c)
+		if recs != nil {
+			recs[i] = obs.New()
+			wctx = obs.WithRecorder(wctx, recs[i])
+		}
+		r, err := RunCaseCtx(wctx, c)
 		if err != nil {
 			return CaseResult{}, fmt.Errorf("chaos: %s/%s/seed=%d: %w", c.Topology, c.Fault, c.Seed, err)
 		}
@@ -418,6 +465,15 @@ func Sweep(cfg SweepConfig, progress func(CaseResult)) ([]CaseResult, []Summary,
 		}
 		return *r, nil
 	})
+	// Fold the per-case recorders back in matrix order — never completion
+	// order — even on error, so a partial sweep still leaves a well-formed
+	// trace behind.
+	for i, rec := range recs {
+		if rec != nil {
+			c := cases[i]
+			parent.Adopt(fmt.Sprintf("case %s/%s/%d", c.Topology, c.Fault, c.Seed), rec)
+		}
+	}
 	if err != nil {
 		return nil, nil, err
 	}

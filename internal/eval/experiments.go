@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"chameleon/internal/analyzer"
+	"chameleon/internal/obs"
 	"chameleon/internal/plan"
 	"chameleon/internal/pool"
 	"chameleon/internal/runtime"
@@ -41,7 +42,14 @@ const (
 // BuildPipeline analyzes, schedules and compiles the scenario under the
 // chosen specification.
 func BuildPipeline(s *scenario.Scenario, kind SpecKind, opts scheduler.Options) (*Pipeline, error) {
-	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	return BuildPipelineCtx(context.Background(), s, kind, opts)
+}
+
+// BuildPipelineCtx is BuildPipeline with a context: cancellation reaches
+// into the scheduler's branch-and-bound, and a recorder carried by ctx
+// observes the analyze and schedule stages.
+func BuildPipelineCtx(ctx context.Context, s *scenario.Scenario, kind SpecKind, opts scheduler.Options) (*Pipeline, error) {
+	a, err := analyzer.AnalyzeCtx(ctx, s.Net, s.FinalNetwork(), s.Prefix)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +60,7 @@ func BuildPipeline(s *scenario.Scenario, kind SpecKind, opts scheduler.Options) 
 	default:
 		sp = ReachabilitySpec(s.Graph)
 	}
-	sched, err := scheduler.Schedule(a, sp, opts)
+	sched, err := scheduler.ScheduleCtx(ctx, a, sp, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -174,23 +182,50 @@ type SweepOutcome struct {
 // SchedulingTime measurement is byte-identical at any worker count. The
 // progress callback is serialized but observes completion order.
 func SweepScheduling(names []string, seed uint64, opts scheduler.Options, workers int, progress func(SweepOutcome)) []SweepOutcome {
+	out, err := SweepSchedulingCtx(context.Background(), names, seed, opts, workers, progress)
+	if err != nil {
+		// With a background context the only possible error is a worker
+		// panic, which the historical signature also surfaced as a panic.
+		panic(err)
+	}
+	return out
+}
+
+// SweepSchedulingCtx is SweepScheduling with a context: cancellation stops
+// the sweep (the error is ctx's), and a recorder carried by ctx observes
+// every scenario run (see sweep for the merge discipline).
+func SweepSchedulingCtx(ctx context.Context, names []string, seed uint64, opts scheduler.Options, workers int, progress func(SweepOutcome)) ([]SweepOutcome, error) {
 	if opts.SolverNodeBudget == 0 {
 		// Deterministic solver budget: every column except the wall-clock
 		// scheduling_time_s is then byte-identical at any worker count
 		// and under any machine load.
 		opts.SolverNodeBudget = scheduler.DeterministicNodeBudget
 	}
-	return sweep(workers, names, progress, func(name string) SweepOutcome {
-		return schedulingOutcome(name, seed, opts)
+	return sweep(ctx, workers, names, progress, func(ctx context.Context, name string) SweepOutcome {
+		return schedulingOutcome(ctx, name, seed, opts)
 	})
 }
 
 // sweep fans runOne over names on the worker pool, serializing progress.
-// A panicking scenario run propagates as a panic, as it would sequentially.
-func sweep[T any](workers int, names []string, progress func(T), runOne func(name string) T) []T {
+// A panicking scenario run propagates as a *pool.PanicError, as does a
+// cancelled context as its error. When ctx carries an obs.Recorder, each
+// run gets its own forked recorder, and the forks are folded back into the
+// carried recorder in names order — never completion order — after the
+// pool drains, so traces and metric dumps are byte-identical at any worker
+// count.
+func sweep[T any](ctx context.Context, workers int, names []string, progress func(T), runOne func(ctx context.Context, name string) T) ([]T, error) {
+	parent := obs.RecorderFrom(ctx)
+	var recs []*obs.Recorder
+	if parent != nil {
+		recs = make([]*obs.Recorder, len(names))
+	}
 	var mu sync.Mutex
-	out, err := pool.Map(context.Background(), workers, len(names), func(_ context.Context, i int) (T, error) {
-		o := runOne(names[i])
+	out, err := pool.Map(ctx, workers, len(names), func(wctx context.Context, i int) (T, error) {
+		if recs != nil {
+			recs[i] = obs.New()
+			wctx = obs.WithRecorder(wctx, recs[i])
+		}
+		o := runOne(wctx, names[i])
 		if progress != nil {
 			mu.Lock()
 			progress(o)
@@ -198,10 +233,12 @@ func sweep[T any](workers int, names []string, progress func(T), runOne func(nam
 		}
 		return o, nil
 	})
-	if err != nil {
-		panic(err)
+	for i, rec := range recs {
+		if rec != nil {
+			parent.Adopt("run "+names[i], rec)
+		}
 	}
-	return out
+	return out, err
 }
 
 // schedulingOutcome runs one scenario of the §7 scheduling sweep. The
@@ -209,7 +246,7 @@ func sweep[T any](workers int, names []string, progress func(T), runOne func(nam
 // contention it measures the worker's elapsed time (still the quantity the
 // Fig. 7 correlation uses — relative, not absolute, magnitudes), while every
 // other field derives from the simulation and is reproducible bit-for-bit.
-func schedulingOutcome(name string, seed uint64, opts scheduler.Options) SweepOutcome {
+func schedulingOutcome(ctx context.Context, name string, seed uint64, opts scheduler.Options) SweepOutcome {
 	o := SweepOutcome{Name: name}
 	s, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
 	if err != nil {
@@ -217,7 +254,7 @@ func schedulingOutcome(name string, seed uint64, opts scheduler.Options) SweepOu
 		return o
 	}
 	o.Nodes = len(s.Graph.Internal())
-	a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+	a, err := analyzer.AnalyzeCtx(ctx, s.Net, s.FinalNetwork(), s.Prefix)
 	if err != nil {
 		o.Err = err
 		return o
@@ -226,7 +263,7 @@ func schedulingOutcome(name string, seed uint64, opts scheduler.Options) SweepOu
 	o.Cr = a.ReconfigurationComplexity()
 	sp := Eq4Spec(a, s.E1)
 	t0 := time.Now()
-	sched, err := scheduler.Schedule(a, sp, opts)
+	sched, err := scheduler.ScheduleCtx(ctx, a, sp, opts)
 	o.SchedulingTime = time.Since(t0)
 	if err != nil {
 		o.Err = err
@@ -320,16 +357,26 @@ type OverheadOutcome struct {
 // derives from the simulation, so the results — and the Fig. 10 CSV — are
 // byte-identical at any worker count.
 func SweepTableOverhead(names []string, seed uint64, opts scheduler.Options, workers int, progress func(OverheadOutcome)) []OverheadOutcome {
+	out, err := SweepTableOverheadCtx(context.Background(), names, seed, opts, workers, progress)
+	if err != nil {
+		panic(err) // background context: only a worker panic lands here
+	}
+	return out
+}
+
+// SweepTableOverheadCtx is SweepTableOverhead with a context; see
+// SweepSchedulingCtx for the cancellation and recorder semantics.
+func SweepTableOverheadCtx(ctx context.Context, names []string, seed uint64, opts scheduler.Options, workers int, progress func(OverheadOutcome)) ([]OverheadOutcome, error) {
 	if opts.SolverNodeBudget == 0 {
 		opts.SolverNodeBudget = scheduler.DeterministicNodeBudget
 	}
-	return sweep(workers, names, progress, func(name string) OverheadOutcome {
-		return overheadOutcome(name, seed, opts)
+	return sweep(ctx, workers, names, progress, func(ctx context.Context, name string) OverheadOutcome {
+		return overheadOutcome(ctx, name, seed, opts)
 	})
 }
 
 // overheadOutcome runs one scenario of the §7.3 overhead sweep.
-func overheadOutcome(name string, seed uint64, opts scheduler.Options) OverheadOutcome {
+func overheadOutcome(ctx context.Context, name string, seed uint64, opts scheduler.Options) OverheadOutcome {
 	o := OverheadOutcome{Name: name}
 	// Baseline: direct application.
 	sBase, err := scenario.CaseStudy(name, scenario.Config{Seed: seed})
@@ -350,13 +397,13 @@ func overheadOutcome(name string, seed uint64, opts scheduler.Options) OverheadO
 		o.Err = err
 		return o
 	}
-	pl, err := BuildPipeline(sCham, SpecEq4, opts)
+	pl, err := BuildPipelineCtx(ctx, sCham, SpecEq4, opts)
 	if err != nil {
 		o.Err = err
 		return o
 	}
 	ex := runtime.NewExecutor(sCham.Net, runtime.DefaultOptions(seed))
-	res, err := ex.Execute(pl.Plan)
+	res, err := ex.ExecuteCtx(ctx, pl.Plan)
 	if err != nil {
 		o.Err = err
 		return o

@@ -1,0 +1,78 @@
+package eval
+
+import "testing"
+
+// The stats helpers promise a defined zero — never NaN, never a panic —
+// on empty samples, so sweep code can fold partially-errored result sets
+// without guarding every aggregation. These tests pin that contract.
+
+func TestStatsEmptySamples(t *testing.T) {
+	var none []float64
+	if got := Percentile(none, 50); got != 0 {
+		t.Errorf("Percentile(nil, 50) = %v, want 0", got)
+	}
+	for _, p := range []float64{-1, 0, 50, 100, 101} {
+		if got := Percentile(none, p); got != 0 {
+			t.Errorf("Percentile(nil, %v) = %v, want 0", p, got)
+		}
+	}
+	if got := Median(none); got != 0 {
+		t.Errorf("Median(nil) = %v, want 0", got)
+	}
+	if got := Mean(none); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := FractionBelow(none, 10); got != 0 {
+		t.Errorf("FractionBelow(nil, 10) = %v, want 0", got)
+	}
+	if vs, fs := CDF(none); len(vs) != 0 || len(fs) != 0 {
+		t.Errorf("CDF(nil) = %v, %v, want empty", vs, fs)
+	}
+}
+
+func TestDistEmpty(t *testing.T) {
+	d := NewDist(nil)
+	if d.N() != 0 {
+		t.Fatalf("N() = %d, want 0", d.N())
+	}
+	for _, p := range []float64{0, 10, 50, 90, 100} {
+		if got := d.Percentile(p); got != 0 {
+			t.Errorf("empty Dist.Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	if got := d.Median(); got != 0 {
+		t.Errorf("empty Dist.Median() = %v, want 0", got)
+	}
+	if got := d.Mean(); got != 0 {
+		t.Errorf("empty Dist.Mean() = %v, want 0", got)
+	}
+	if got := d.FractionBelow(42); got != 0 {
+		t.Errorf("empty Dist.FractionBelow(42) = %v, want 0", got)
+	}
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	// Fewer than two positive pairs, or zero variance, correlate to 0
+	// rather than NaN.
+	if got := PearsonLogLog(nil, nil); got != 0 {
+		t.Errorf("PearsonLogLog(nil, nil) = %v, want 0", got)
+	}
+	if got := PearsonLogLog([]float64{1}, []float64{2}); got != 0 {
+		t.Errorf("PearsonLogLog(1 pair) = %v, want 0", got)
+	}
+	if got := PearsonLogLog([]float64{3, 3, 3}, []float64{1, 2, 4}); got != 0 {
+		t.Errorf("PearsonLogLog(zero x-variance) = %v, want 0", got)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75}, {-5, 1}, {200, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", xs, c.p, got, c.want)
+		}
+	}
+}

@@ -56,10 +56,13 @@ func (p *Problem) NumVars() int { return p.n }
 // NumConstraints returns the number of constraint rows.
 func (p *Problem) NumConstraints() int { return len(p.A) }
 
-// Solution holds the optimum of an LP.
+// Solution holds the optimum of an LP. Pivots counts simplex pivot
+// operations across both phases — the solver-effort unit surfaced by the
+// observability layer.
 type Solution struct {
 	X         []float64
 	Objective float64
+	Pivots    int
 }
 
 // Solve runs two-phase simplex with Bland's anti-cycling rule.
@@ -75,6 +78,7 @@ func (p *Problem) Solve() (*Solution, error) {
 		}
 		return &Solution{X: make([]float64, n), Objective: 0}, nil
 	}
+	pivots := 0
 
 	// Tableau with slack variables: columns [x(n) | s(m) | rhs].
 	// Rows with negative rhs need artificial variables; we use the
@@ -148,6 +152,7 @@ func (p *Problem) Solve() (*Solution, error) {
 				return ErrUnbounded
 			}
 			// Pivot on (leave, enter).
+			pivots++
 			pv := t.a[leave][enter]
 			for j := 0; j < cols; j++ {
 				t.a[leave][j] /= pv
@@ -255,5 +260,5 @@ func (p *Problem) Solve() (*Solution, error) {
 	for j := 0; j < n; j++ {
 		objVal += p.c[j] * x[j]
 	}
-	return &Solution{X: x, Objective: objVal}, nil
+	return &Solution{X: x, Objective: objVal, Pivots: pivots}, nil
 }

@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"context"
 	"errors"
 	"math/rand/v2"
 	"time"
@@ -62,6 +63,11 @@ type Options struct {
 	// PreferHigh lists variables whose values are enumerated descending
 	// (try the upper bound first); all others ascend.
 	PreferHigh []VarID
+	// Ctx, when non-nil, is polled sparsely (same cadence as the deadline
+	// check) and aborts the search with the context's error. Cancellation
+	// discards any incumbent: a cancelled solve returns ctx.Err(), never a
+	// partial solution.
+	Ctx context.Context
 }
 
 // Stats reports search effort.
@@ -70,6 +76,7 @@ type Stats struct {
 	Propagations int64
 	Duration     time.Duration
 	LPBounds     int64
+	LPPivots     int64
 	Optimal      bool
 }
 
@@ -105,6 +112,12 @@ type searcher struct {
 	opts     Options
 	stats    Stats
 	start    time.Time
+	ctxErr   error // set when opts.Ctx fired during the search
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline error.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Solve runs branch and bound. With an objective it returns the best
@@ -167,7 +180,7 @@ func (m *Model) solveWithRestarts(opts Options) (*Solution, error) {
 			}
 		}
 		sol, err := m.solveOnce(inner)
-		if err == nil || errors.Is(err, ErrInfeasible) {
+		if err == nil || errors.Is(err, ErrInfeasible) || isCtxErr(err) {
 			return sol, err
 		}
 		if opts.TimeLimit > 0 && time.Now().After(deadline) {
@@ -228,6 +241,9 @@ func (m *Model) solveOnce(opts Options) (*Solution, error) {
 	}
 	err := s.search(0)
 	s.stats.Duration = time.Since(s.start)
+	if s.ctxErr != nil {
+		return nil, s.ctxErr
+	}
 	if s.haveInc {
 		// Without an objective any feasible assignment is final; with one,
 		// optimality holds only if the search ran to exhaustion.
@@ -290,6 +306,9 @@ func (m *Model) SolveIterative(opts Options) (*Solution, error) {
 		m.AddLe(m.obj, best.Objective-1)
 		sol, err := m.Solve(inner)
 		if err != nil {
+			if isCtxErr(err) {
+				return nil, err
+			}
 			best.Stats = agg
 			best.Stats.Optimal = errors.Is(err, ErrInfeasible)
 			return best, nil
@@ -297,6 +316,7 @@ func (m *Model) SolveIterative(opts Options) (*Solution, error) {
 		agg.Nodes += sol.Stats.Nodes
 		agg.Propagations += sol.Stats.Propagations
 		agg.LPBounds += sol.Stats.LPBounds
+		agg.LPPivots += sol.Stats.LPPivots
 		agg.Duration += sol.Stats.Duration
 		best = sol
 	}
@@ -308,9 +328,20 @@ func (s *searcher) limitExceeded() bool {
 	if s.opts.MaxNodes > 0 && s.stats.Nodes >= s.opts.MaxNodes {
 		return true
 	}
-	// Check the clock sparsely; time.Now is comparatively expensive.
-	if s.hasDL && s.stats.Nodes%256 == 0 && time.Now().After(s.deadline) {
-		return true
+	// Check the clock and the context sparsely; time.Now and channel
+	// selects are comparatively expensive.
+	if s.stats.Nodes%256 == 0 {
+		if s.hasDL && time.Now().After(s.deadline) {
+			return true
+		}
+		if s.opts.Ctx != nil {
+			select {
+			case <-s.opts.Ctx.Done():
+				s.ctxErr = s.opts.Ctx.Err()
+				return true
+			default:
+			}
+		}
 	}
 	return false
 }
@@ -484,6 +515,7 @@ func (s *searcher) lpBound() bool {
 	if err != nil {
 		return !errors.Is(err, lp.ErrInfeasible)
 	}
+	s.stats.LPPivots += int64(sol.Pivots)
 	if s.m.hasObj && s.haveInc {
 		// Integral objective: ceil the LP bound.
 		lb := int64(sol.Objective + float64(s.m.obj.Const) - 1e-6)

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// The instrumentation contract is that a nil recorder costs one pointer test
+// on the hot path. These benchmarks pin that down; the eval harness's bench
+// smoke keeps them honest in CI.
+
+func BenchmarkNilSpanAdd(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.Add(CtrMILPNodes, 1)
+	}
+}
+
+func BenchmarkNilRecorderStartEnd(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan(nil, "solve")
+		sp.End()
+	}
+}
+
+func BenchmarkCtxStartSpanNoRecorder(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "solve")
+		sp.End()
+	}
+}
+
+func BenchmarkLiveSpanAdd(b *testing.B) {
+	r := New()
+	sp := r.StartSpan(nil, "solve")
+	defer sp.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Add(CtrMILPNodes, 1)
+	}
+}
+
+func TestNilPathAllocFree(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.StartSpan(nil, "solve")
+		sp.Add(CtrMILPNodes, 1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-recorder path allocates %v per op", allocs)
+	}
+	ctx := context.Background()
+	allocs = testing.AllocsPerRun(1000, func() {
+		_, sp := StartSpan(ctx, "solve")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-recorder context path allocates %v per op", allocs)
+	}
+}

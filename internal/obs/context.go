@@ -1,0 +1,59 @@
+package obs
+
+import "context"
+
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	spanKey
+)
+
+// WithRecorder returns a context carrying rec. A nil rec returns ctx
+// unchanged, so callers can thread an optional recorder unconditionally.
+// Installing a different recorder than the context already carries detaches
+// the context's current span: a span belongs to its recorder, and must not
+// become the parent of spans recorded elsewhere (the sweep engines fork a
+// child recorder per run and later merge with Adopt, which re-roots the
+// child's tree under a wrapper span).
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	if RecorderFrom(ctx) != rec {
+		ctx = context.WithValue(ctx, spanKey, (*Span)(nil))
+	}
+	return context.WithValue(ctx, recorderKey, rec)
+}
+
+// RecorderFrom extracts the context's Recorder (nil when absent — and a nil
+// Recorder is a valid no-op recorder).
+func RecorderFrom(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	rec, _ := ctx.Value(recorderKey).(*Recorder)
+	return rec
+}
+
+// SpanFrom extracts the context's current span (nil when absent).
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey).(*Span)
+	return sp
+}
+
+// StartSpan opens a span named name as a child of the context's current
+// span, on the context's recorder, and returns a derived context in which
+// the new span is current. Without a recorder in ctx it returns (ctx, nil)
+// — zero allocation, no-op span.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	rec := RecorderFrom(ctx)
+	if rec == nil {
+		return ctx, nil
+	}
+	sp := rec.StartSpan(SpanFrom(ctx), name, attrs...)
+	return context.WithValue(ctx, spanKey, sp), sp
+}

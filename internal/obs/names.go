@@ -1,0 +1,40 @@
+package obs
+
+// Counter inventory. Every instrumented package increments these names so
+// dumps, dashboards and the reconciliation tests agree on spelling; the
+// semantics are documented in DESIGN.md §9.
+const (
+	// Solver effort (scheduler / milp / lp).
+	CtrMILPNodes         = "milp_nodes_explored"
+	CtrMILPPropagations  = "milp_propagations"
+	CtrMILPLPBounds      = "milp_lp_bounds"
+	CtrLPPivots          = "lp_pivots"
+	CtrSchedRoundsTried  = "sched_rounds_tried"
+	CtrSchedSolvesOK     = "sched_solves_feasible"
+	CtrSchedSolvesInfeas = "sched_solves_infeasible"
+
+	// BGP substrate (sim).
+	CtrBGPUpdates        = "bgp_messages_update"
+	CtrBGPWithdraws      = "bgp_messages_withdraw"
+	CtrCommandsScheduled = "sim_commands_scheduled"
+	CtrCommandsCancelled = "sim_commands_cancelled"
+	CtrSessionsOpened    = "sessions_opened"
+	CtrSessionsClosed    = "sessions_closed"
+
+	// Fault layer (sim / chaos).
+	CtrFaultsCommand = "faults_injected_command"
+	CtrFaultsMessage = "faults_injected_message"
+	CtrFaultsHealed  = "faults_healed"
+
+	// Runtime controller.
+	CtrExecCommandsPushed = "exec_commands_pushed"
+	CtrExecRetries        = "exec_retries"
+	CtrExecRepushes       = "exec_repushes"
+	CtrExecEscalations    = "exec_escalations"
+	CtrExecAcksLost       = "exec_acks_lost"
+	CtrExecMonitorAlarms  = "exec_monitor_alarms"
+
+	// Chaos harness.
+	CtrChaosCases      = "chaos_cases"
+	CtrChaosViolations = "chaos_violations"
+)

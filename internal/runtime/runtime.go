@@ -15,11 +15,13 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand/v2"
 	"time"
 
+	"chameleon/internal/obs"
 	"chameleon/internal/plan"
 	"chameleon/internal/sim"
 )
@@ -58,6 +60,12 @@ type Options struct {
 	// Reaction selects how the controller responds to a Monitor alarm or
 	// an exhausted escalation ladder.
 	Reaction ReactionPolicy
+	// Recorder, when set, receives the execution trace: an "execute" span
+	// with one child per phase (setup, between k, round k, cleanup,
+	// commit), stamped with the simulated clock, plus the command/retry/
+	// escalation counters. A recorder on the execution context (see
+	// ExecuteCtx) is used when this is nil.
+	Recorder *obs.Recorder
 }
 
 // ReactionPolicy is the §8 response to harmful external events.
@@ -174,6 +182,14 @@ type Executor struct {
 	// betweenDone tracks which original-command slots have been applied,
 	// so a ReactCommit cut-over applies exactly the pending ones.
 	betweenDone []bool
+
+	// ctx is the current execution's context (cancellation is polled in
+	// every supervision loop); execSpan/phaseSpan are the current trace
+	// spans (nil when unrecorded).
+	ctx       context.Context
+	obsRec    *obs.Recorder
+	execSpan  *obs.Span
+	phaseSpan *obs.Span
 }
 
 // NewExecutor wraps a converged network.
@@ -256,18 +272,94 @@ func (e *Executor) backoff(retry int) time.Duration {
 // router latency plus extraDelay, returning the acknowledgment token and
 // the verification deadline for this attempt.
 func (e *Executor) pushTracked(cmd sim.Command, attempt int, extraDelay time.Duration) (*sim.CommandToken, time.Duration) {
+	e.count(obs.CtrExecCommandsPushed, 1)
 	lat := e.latency() + extraDelay
 	tk := e.net.ScheduleCommand(lat, cmd, attempt)
 	return tk, e.net.Now() + lat + e.opts.CommandTimeout
 }
 
+// ctxDone polls the execution context without blocking.
+func (e *Executor) ctxDone() error {
+	if e.ctx == nil {
+		return nil
+	}
+	select {
+	case <-e.ctx.Done():
+		return e.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// count attributes an executor counter to the current phase span when one
+// is open, else to the execute span (both nil-safe).
+func (e *Executor) count(name string, delta int64) {
+	if e.phaseSpan != nil {
+		e.phaseSpan.Add(name, delta)
+		return
+	}
+	e.execSpan.Add(name, delta)
+}
+
+// startPhase opens a trace span for one phase and points the sim layer's
+// counter attribution at it; endPhase closes it and reverts attribution.
+func (e *Executor) startPhase(name string) *obs.Span {
+	if e.obsRec == nil {
+		return nil
+	}
+	sp := e.obsRec.StartSpan(e.execSpan, name)
+	e.phaseSpan = sp
+	e.net.SetObsSpan(sp)
+	return sp
+}
+
+func (e *Executor) endPhase(sp *obs.Span) {
+	sp.End()
+	e.phaseSpan = nil
+	if e.obsRec != nil {
+		e.net.SetObsSpan(nil)
+	}
+}
+
 // Execute runs the plan to completion. The network must be converged; on
 // return it is converged in the final configuration. Forwarding traces
-// accumulate in the network's trace recorder for later verification.
+// accumulate in the network's trace recorder for later verification. It is
+// ExecuteCtx under context.Background().
 func (e *Executor) Execute(p *plan.Plan) (*Result, error) {
+	return e.ExecuteCtx(context.Background(), p)
+}
+
+// ExecuteCtx is Execute with a context: cancellation is polled in every
+// supervision loop (per simulated event), so a cancelled execution returns
+// promptly mid-round with the context's error, and a recorder — from
+// Options.Recorder or, failing that, the context — receives an "execute"
+// span tree stamped with the simulated clock.
+func (e *Executor) ExecuteCtx(ctx context.Context, p *plan.Plan) (*Result, error) {
 	if !e.net.Converged() {
 		return nil, fmt.Errorf("runtime: network not converged at start")
 	}
+	e.ctx = ctx
+	e.obsRec = e.opts.Recorder
+	if e.obsRec == nil {
+		e.obsRec = obs.RecorderFrom(ctx)
+	}
+	if e.obsRec != nil {
+		// The simulated clock is the only time source a trace may carry —
+		// wall clock would break byte-identical reproducibility.
+		e.obsRec.SetClock(e.net.Now)
+		e.net.SetRecorder(e.obsRec)
+		e.execSpan = e.obsRec.StartSpan(obs.SpanFrom(ctx), "execute")
+		defer func() {
+			e.execSpan.End()
+			e.obsRec.SetClock(nil)
+			e.net.SetRecorder(nil)
+			e.net.SetObsSpan(nil)
+			e.execSpan = nil
+			e.phaseSpan = nil
+			e.obsRec = nil
+		}()
+	}
+	defer func() { e.ctx = nil }()
 	e.beginRun()
 	res := &Result{Start: e.net.Now()}
 	e.rec = RecoveryStats{}
@@ -283,7 +375,10 @@ func (e *Executor) Execute(p *plan.Plan) (*Result, error) {
 
 	runPhase := func(name string, steps []plan.Step) error {
 		start := e.net.Now()
-		if err := e.runSteps(p, steps); err != nil {
+		sp := e.startPhase(name)
+		err := e.runSteps(p, steps)
+		e.endPhase(sp)
+		if err != nil {
 			return fmt.Errorf("runtime: %s: %w", name, err)
 		}
 		res.CommandsApplied += len(steps)
@@ -327,6 +422,12 @@ func (e *Executor) Execute(p *plan.Plan) (*Result, error) {
 	res.End = e.net.Now()
 	res.MaxTableEntries = e.net.MaxTableEntries()
 	res.Recovery = e.rec
+	// Mirror the recovery ladder's activity into the trace counters.
+	e.execSpan.Add(obs.CtrExecRetries, int64(e.rec.Retries))
+	e.execSpan.Add(obs.CtrExecRepushes, int64(e.rec.Repushes))
+	e.execSpan.Add(obs.CtrExecEscalations, int64(e.rec.Escalations))
+	e.execSpan.Add(obs.CtrExecAcksLost, int64(e.rec.AcksLost))
+	e.execSpan.Add(obs.CtrExecMonitorAlarms, int64(e.rec.MonitorAlarms))
 	return res, nil
 }
 
@@ -357,6 +458,9 @@ func (e *Executor) applyOriginals(cmds []sim.Command, res *Result) error {
 	}
 	watchdog := e.net.Now() + e.opts.ConditionTimeout
 	for {
+		if err := e.ctxDone(); err != nil {
+			return err
+		}
 		progress := false
 		allConfirmed := true
 		for i := range st {
@@ -366,12 +470,16 @@ func (e *Executor) applyOriginals(cmds []sim.Command, res *Result) error {
 			}
 			if s.token.Acked() {
 				s.confirmed = true
+				if s.attempts > 1 {
+					e.count(obs.CtrFaultsHealed, 1)
+				}
 				progress = true
 				continue
 			}
 			if v := cmds[i].Verify; v != nil && v(e.net) {
 				s.confirmed = true
 				e.rec.AcksLost++
+				e.count(obs.CtrFaultsHealed, 1)
 				progress = true
 				continue
 			}
@@ -435,6 +543,9 @@ func (e *Executor) applyOriginals(cmds []sim.Command, res *Result) error {
 // Between slots are still caught (§8).
 func (e *Executor) superviseRun() error {
 	for e.net.Step() {
+		if err := e.ctxDone(); err != nil {
+			return err
+		}
 		if e.opts.Monitor != nil && !e.opts.Monitor(e.net) {
 			e.rec.MonitorAlarms++
 			if err := e.react(nil); err != nil {
@@ -465,7 +576,10 @@ func nextDeadline[T any](xs []T, sel func(T) (bool, time.Duration)) (time.Durati
 // applyOriginalSlot applies one Between slot, tracking completion for a
 // possible ReactCommit cut-over.
 func (e *Executor) applyOriginalSlot(p *plan.Plan, slot int, res *Result) error {
-	if err := e.applyOriginals(p.Between[slot], res); err != nil {
+	sp := e.startPhase(fmt.Sprintf("between %d", slot))
+	err := e.applyOriginals(p.Between[slot], res)
+	e.endPhase(sp)
+	if err != nil {
 		return err
 	}
 	if slot < len(e.betweenDone) {
@@ -479,6 +593,8 @@ func (e *Executor) applyOriginalSlot(p *plan.Plan, slot int, res *Result) error 
 // command and the whole cleanup phase are applied at once.
 func (e *Executor) commit(p *plan.Plan, res *Result) {
 	start := e.net.Now()
+	sp := e.startPhase("commit")
+	defer e.endPhase(sp)
 	e.net.CancelPendingCommands()
 	for k, cmds := range p.Between {
 		if k < len(e.betweenDone) && e.betweenDone[k] {
@@ -556,6 +672,9 @@ func (e *Executor) runSteps(p *plan.Plan, steps []plan.Step) error {
 	}
 
 	for {
+		if err := e.ctxDone(); err != nil {
+			return err
+		}
 		progress := false
 		// Push every step whose pre-conditions now hold.
 		for i := range steps {
@@ -574,6 +693,9 @@ func (e *Executor) runSteps(p *plan.Plan, steps []plan.Step) error {
 			}
 			if s.token.Acked() {
 				s.confirmed = true
+				if s.attempts > 1 {
+					e.count(obs.CtrFaultsHealed, 1)
+				}
 				progress = true
 				continue
 			}
@@ -583,6 +705,7 @@ func (e *Executor) runSteps(p *plan.Plan, steps []plan.Step) error {
 				// readback — not blind retrying — confirms it.
 				s.confirmed = true
 				e.rec.AcksLost++
+				e.count(obs.CtrFaultsHealed, 1)
 				progress = true
 				continue
 			}

@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -88,7 +89,7 @@ func newEncoder(a *analyzer.Analysis, sp *spec.Spec, R int, opts Options) *encod
 	}
 }
 
-func (e *encoder) solve() (*NodeSchedule, milp.Stats, error) {
+func (e *encoder) solve(ctx context.Context) (*NodeSchedule, milp.Stats, error) {
 	for _, n := range e.a.Switching {
 		e.isSwitching[n] = true
 	}
@@ -124,6 +125,7 @@ func (e *encoder) solve() (*NodeSchedule, milp.Stats, error) {
 		PreferHigh:           preferHigh,
 		UseLPBound:           e.opts.UseLPBound,
 		FirstSolution:        !e.opts.MinimizeTempSessions,
+		Ctx:                  ctx,
 	}
 	if e.opts.SolverNodeBudget > 0 {
 		// Deterministic mode: node budgets replace every clock, so the
@@ -401,7 +403,9 @@ func (e *encoder) buildConcurrency() {
 		for k := 1; k <= e.R; k++ {
 			expr := milp.Lin()
 			constant := int64(0)
-			for n := range e.delta {
+			// Switching order, not map order: constraint emission order
+			// must be deterministic for traces to reproduce byte-for-byte.
+			for _, n := range e.a.Switching {
 				eq := e.eqAt(n, k)
 				if eq.isConst {
 					if eq.c {
@@ -414,7 +418,15 @@ func (e *encoder) buildConcurrency() {
 			e.model.AddLe(expr, 1-constant)
 		}
 	}
-	for n, ds := range e.delta {
+	// Switching order, not map order over e.delta: the emitted constraint
+	// order decides the propagation queue's visit order, and with it the
+	// solver-effort counters the observability layer reports — those must
+	// reproduce byte-for-byte run to run.
+	for _, n := range e.a.Switching {
+		ds, ok := e.delta[n]
+		if !ok { // no δ variables: node keeps its next hop
+			continue
+		}
 		x, y := e.a.NHOld[n], e.a.NHNew[n]
 		for k := 1; k <= e.R; k++ {
 			dn := vr(ds[k-1])

@@ -6,6 +6,7 @@
 package scheduler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -14,6 +15,7 @@ import (
 	"chameleon/internal/analyzer"
 	"chameleon/internal/fwd"
 	"chameleon/internal/milp"
+	"chameleon/internal/obs"
 	"chameleon/internal/spec"
 	"chameleon/internal/topology"
 )
@@ -50,6 +52,7 @@ type Stats struct {
 	RoundsTried  int
 	SolverNodes  int64
 	Propagations int64
+	LPPivots     int64
 	Duration     time.Duration
 	Variables    int
 	Constraints  int
@@ -149,8 +152,18 @@ var ErrUnschedulable = errors.New("scheduler: no safe schedule exists within the
 
 // Schedule searches for the minimum-round schedule satisfying sp.
 // The specification must hold in the initial and final states (checked
-// against rounds 0 and R of the induced trace).
+// against rounds 0 and R of the induced trace). It is ScheduleCtx under
+// context.Background().
 func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule, error) {
+	return ScheduleCtx(context.Background(), a, sp, opts)
+}
+
+// ScheduleCtx is Schedule with a context: cancellation propagates into the
+// MILP branch-and-bound (polled sparsely, so aborts are prompt but cheap),
+// and when ctx carries an *obs.Recorder the search records a "schedule"
+// span with one "solve" child per attempted round count, counting solver
+// effort (nodes, propagations, LP pivots) per attempt.
+func ScheduleCtx(ctx context.Context, a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule, error) {
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 16
 	}
@@ -163,6 +176,8 @@ func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule,
 	if opts.CycleLimit == 0 {
 		opts.CycleLimit = 10000
 	}
+	ctx, span := obs.StartSpan(ctx, "schedule")
+	defer span.End()
 	start := time.Now()
 	var agg Stats
 	if len(a.Switching) == 0 {
@@ -174,18 +189,30 @@ func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule,
 	}
 	attempt := func(r int, budget time.Duration, nodes int64) (*NodeSchedule, error) {
 		agg.RoundsTried++
+		span.Add(obs.CtrSchedRoundsTried, 1)
+		_, solveSpan := obs.StartSpan(ctx, "solve", obs.Int("R", int64(r)))
 		o := opts
 		o.TimeLimitPerRound = budget
 		o.SolverNodeBudget = nodes
 		enc := newEncoder(a, sp, r, o)
-		sched, stats, err := enc.solve()
+		sched, stats, err := enc.solve(ctx)
 		agg.SolverNodes += stats.Nodes
 		agg.Propagations += stats.Propagations
+		agg.LPPivots += stats.LPPivots
 		agg.Variables = enc.model.NumVars()
 		agg.Constraints = enc.model.NumConstraints()
-		if err == nil {
+		solveSpan.Add(obs.CtrMILPNodes, stats.Nodes)
+		solveSpan.Add(obs.CtrMILPPropagations, stats.Propagations)
+		solveSpan.Add(obs.CtrMILPLPBounds, stats.LPBounds)
+		solveSpan.Add(obs.CtrLPPivots, stats.LPPivots)
+		switch {
+		case err == nil:
 			agg.ObjectiveOpt = stats.Optimal
+			span.Add(obs.CtrSchedSolvesOK, 1)
+		case errors.Is(err, milp.ErrInfeasible):
+			span.Add(obs.CtrSchedSolvesInfeas, 1)
 		}
+		solveSpan.End()
 		return sched, err
 	}
 	finish := func(sched *NodeSchedule) (*NodeSchedule, error) {
@@ -205,6 +232,9 @@ func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule,
 		sched, err := attempt(r, opts.ScanTimePerRound, opts.SolverNodeBudget)
 		if err == nil {
 			return finish(sched)
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
 		}
 		if !errors.Is(err, milp.ErrInfeasible) {
 			undecided = append(undecided, r)
@@ -240,6 +270,9 @@ func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule,
 			if err == nil {
 				return finish(sched)
 			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 			if !errors.Is(err, milp.ErrInfeasible) {
 				lastErr = fmt.Errorf("scheduler: solving with R=%d: %w", r, err)
 			}
@@ -257,6 +290,9 @@ func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule,
 				best = sched
 				break
 			}
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
 		}
 		if best != nil {
 			lo := opts.MaxRounds // everything ≤ MaxRounds was undecided
@@ -264,6 +300,8 @@ func Schedule(a *analyzer.Analysis, sp *spec.Spec, opts Options) (*NodeSchedule,
 				mid := (lo + best.R) / 2
 				if sched, err := attempt(mid, slackBudget, 2*opts.SolverNodeBudget); err == nil {
 					best = sched
+				} else if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
 				} else {
 					lo = mid
 				}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"chameleon/internal/bgp"
+	"chameleon/internal/obs"
 	"chameleon/internal/topology"
 )
 
@@ -88,9 +89,11 @@ func (n *Network) sendMsg(m *message) {
 		case FaultDelay:
 			if f.DelayFactor > 1 {
 				delay = time.Duration(float64(delay) * f.DelayFactor)
+				n.count(obs.CtrFaultsMessage, 1)
 			}
 		case FaultDuplicate:
 			duplicate = true
+			n.count(obs.CtrFaultsMessage, 1)
 		}
 	}
 	key := sessionKey(m.from, m.to)

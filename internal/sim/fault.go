@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"chameleon/internal/obs"
 	"chameleon/internal/topology"
 )
 
@@ -147,10 +148,14 @@ func (t *CommandToken) Cancel() {
 // controller's acknowledgment channel; with no injector installed the
 // command applies after exactly delay and acks.
 func (n *Network) ScheduleCommand(delay time.Duration, cmd Command, attempt int) *CommandToken {
+	n.count(obs.CtrCommandsScheduled, 1)
 	tk := &CommandToken{kind: FaultNone}
 	f := CommandFault{}
 	if n.faults != nil {
 		f = n.faults.CommandFault(cmd.Node, cmd.Description, attempt)
+	}
+	if f.Kind != FaultNone {
+		n.count(obs.CtrFaultsCommand, 1)
 	}
 	tk.kind = f.Kind
 	switch f.Kind {
@@ -209,6 +214,7 @@ func (n *Network) CancelPendingCommands() int {
 		}
 	}
 	n.pendingCmds = n.pendingCmds[:0]
+	n.count(obs.CtrCommandsCancelled, int64(cancelled))
 	return cancelled
 }
 

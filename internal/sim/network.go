@@ -9,6 +9,7 @@ import (
 	"chameleon/internal/bgp"
 	"chameleon/internal/fwd"
 	"chameleon/internal/igp"
+	"chameleon/internal/obs"
 	"chameleon/internal/topology"
 )
 
@@ -75,6 +76,14 @@ type Network struct {
 	faults      FaultInjector
 	pendingCmds []*CommandToken
 
+	// rec, when set, receives the sim-layer counters (messages by type,
+	// sessions opened/closed, commands scheduled/cancelled, faults
+	// injected). obsSpan, when additionally set, attributes those counters
+	// to the current execution phase — the runtime executor points it at
+	// its per-round span. Neither is inherited by Clone.
+	rec     *obs.Recorder
+	obsSpan *obs.Span
+
 	// run counts BeginRun calls: the index of the current run-scoped jitter
 	// stream (0 = the constructor stream).
 	run uint64
@@ -122,6 +131,26 @@ func (n *Network) BeginRun() uint64 {
 	return n.run - 1
 }
 
+// SetRecorder installs (or, with nil, removes) the observability recorder
+// receiving the sim-layer counters.
+func (n *Network) SetRecorder(rec *obs.Recorder) { n.rec = rec }
+
+// SetObsSpan points the sim-layer counters at a span (nil reverts to
+// recorder-level attribution). The executor sets it per phase so message
+// and fault counts land on the round that caused them.
+func (n *Network) SetObsSpan(sp *obs.Span) { n.obsSpan = sp }
+
+// count attributes a sim-layer counter to the current phase span when one
+// is set, else to the recorder. Both sinks are nil-safe, so uninstrumented
+// networks pay only the two nil tests.
+func (n *Network) count(name string, delta int64) {
+	if n.obsSpan != nil {
+		n.obsSpan.Add(name, delta)
+		return
+	}
+	n.rec.Add(name, delta)
+}
+
 // Graph returns the underlying topology.
 func (n *Network) Graph() *topology.Graph { return n.graph }
 
@@ -151,6 +180,9 @@ func (n *Network) sessionDelay(a, b topology.NodeID) time.Duration {
 func (n *Network) SetSession(a, b topology.NodeID, kindAtA bgp.SessionKind) {
 	ra, rb := n.routers[a], n.routers[b]
 	_, existed := ra.sessions[b]
+	if !existed {
+		n.count(obs.CtrSessionsOpened, 1)
+	}
 	ra.sessions[b] = kindAtA
 	rb.sessions[a] = reverseKind(kindAtA)
 	if existed {
@@ -183,6 +215,9 @@ func reverseKind(k bgp.SessionKind) bgp.SessionKind {
 // RemoveSession tears the session between a and b down. Both ends drop the
 // learned routes and re-run their decision process.
 func (n *Network) RemoveSession(a, b topology.NodeID) {
+	if _, ok := n.routers[a].sessions[b]; ok {
+		n.count(obs.CtrSessionsClosed, 1)
+	}
 	n.teardownHalf(a, b)
 	n.teardownHalf(b, a)
 }
@@ -364,6 +399,11 @@ func (n *Network) Converged() bool { return n.queue.Len() == 0 }
 
 func (n *Network) deliver(m *message) {
 	n.msgCount++
+	if m.kind == msgUpdate {
+		n.count(obs.CtrBGPUpdates, 1)
+	} else {
+		n.count(obs.CtrBGPWithdraws, 1)
+	}
 	r := n.routers[m.to]
 	if _, up := r.sessions[m.from]; !up {
 		return // session went away while the message was in flight
