@@ -38,6 +38,7 @@ import (
 	"chameleon/internal/analyzer"
 	"chameleon/internal/bgp"
 	"chameleon/internal/eval"
+	"chameleon/internal/monitor"
 	"chameleon/internal/obs"
 	"chameleon/internal/plan"
 	"chameleon/internal/runtime"
@@ -78,7 +79,33 @@ type (
 	// it is handed to. It is safe for concurrent use, and a nil *Recorder
 	// is a valid no-op: observability costs nothing unless asked for.
 	Recorder = obs.Recorder
+	// Monitor is the online transient-state monitor: it checks every
+	// forwarding snapshot the simulator takes against the configured
+	// invariants and accumulates a violation timeline (see NewMonitor).
+	Monitor = monitor.Monitor
+	// MonitorConfig configures a Monitor.
+	MonitorConfig = monitor.Config
+	// MonitorInvariant is one online-checkable forwarding property.
+	MonitorInvariant = monitor.Invariant
+	// Timeline is a completed monitor output: violation intervals with
+	// onset, duration, blast radius and phase attribution.
+	Timeline = monitor.Timeline
 )
+
+// NewMonitor returns a transient-state monitor over cfg. Hand it to
+// PlanOptions.Monitor (the compiled specification is then tracked as an
+// additional invariant) and ExecOptions.Monitor (execution binds it to the
+// network's snapshot stream, attributes violations to rounds, and gates
+// round advancement on observed forwarding convergence). After execution
+// the completed timeline is available via its Timeline method.
+func NewMonitor(cfg MonitorConfig) *Monitor { return monitor.New(cfg) }
+
+// DefaultInvariants returns the invariants every reconfiguration must
+// preserve regardless of its specification: full reachability and
+// loop-freedom over g's internal routers.
+func DefaultInvariants(g *Graph) []MonitorInvariant {
+	return []MonitorInvariant{monitor.ReachAll(g), monitor.LoopFree()}
+}
 
 // NewRecorder returns an empty Recorder. Hand it to PlanOptions.Recorder
 // and ExecOptions.Recorder (or carry it in a context via the internal obs
@@ -156,6 +183,11 @@ type PlanOptions struct {
 	// schedule span with one solve child per attempted round count, and
 	// solver-effort counters (nodes, propagations, LP pivots).
 	Recorder *Recorder
+	// Monitor, when non-nil, additionally tracks the compiled
+	// specification as an online invariant: its steady-state projection is
+	// checked against every transient forwarding state when the same
+	// monitor is later passed to ExecOptions.
+	Monitor *Monitor
 }
 
 // normalize translates the facade options into scheduler options,
@@ -227,6 +259,9 @@ func PlanCtx(ctx context.Context, s *Scenario, opts PlanOptions) (*Reconfigurati
 	if err != nil {
 		return nil, fmt.Errorf("chameleon: compile: %w", err)
 	}
+	if opts.Monitor != nil {
+		opts.Monitor.Track(monitor.FromSpec("spec", sp))
+	}
 	return &Reconfiguration{Scenario: s, Analysis: a, Spec: sp, Schedule: sched, Plan: p}, nil
 }
 
@@ -242,6 +277,14 @@ type ExecOptions struct {
 	// and command counters, and the recovery ladder's counters (retries,
 	// re-pushes, escalations, lost acks, healed faults).
 	Recorder *Recorder
+	// Monitor, when non-nil, observes every transient forwarding state of
+	// the execution: it is bound to the network's snapshot stream for the
+	// duration of the run, told each phase as it starts (so violations are
+	// attributed to rounds), and consulted as the executor's convergence
+	// gate (observed forwarding quiescence advances rounds; the watchdog
+	// remains the fallback). On success the monitor is finished and its
+	// Timeline is complete.
+	Monitor *Monitor
 }
 
 // normalize translates the facade options into runtime options, applying
@@ -257,6 +300,10 @@ func (o ExecOptions) normalize(defaultSeed uint64) runtime.Options {
 		ro.MaxCommandLatency = o.CommandLatency
 	}
 	ro.Recorder = o.Recorder
+	if o.Monitor != nil {
+		ro.PhaseObserver = o.Monitor.SetPhase
+		ro.Convergence = o.Monitor.Gate(0)
+	}
 	return ro
 }
 
@@ -275,6 +322,18 @@ func (r *Reconfiguration) Execute(opts ExecOptions) (*ExecResult, error) {
 func (r *Reconfiguration) ExecuteCtx(ctx context.Context, opts ExecOptions) (*ExecResult, error) {
 	ctx = obs.WithRecorder(ctx, opts.Recorder)
 	ex := runtime.NewExecutor(r.Scenario.Net, opts.normalize(r.Scenario.Seed))
+	if m := opts.Monitor; m != nil {
+		unbind := m.Bind(r.Scenario.Net)
+		defer unbind()
+		res, err := ex.ExecuteCtx(ctx, r.Plan)
+		if err != nil {
+			// Leave the monitor open: the caller may observe the abort or
+			// finish it at a time of their choosing.
+			return res, err
+		}
+		m.Finish(r.Scenario.Net.Now())
+		return res, nil
+	}
 	return ex.ExecuteCtx(ctx, r.Plan)
 }
 

@@ -22,9 +22,12 @@
 // Observability: -trace FILE writes a structured span trace (JSONL, one
 // span per line, deterministic bytes for deterministic runs) of every
 // instrumented stage; -metrics FILE writes the final counter/gauge dump;
-// -pprof ADDR serves net/http/pprof for live profiling. The process exits
-// nonzero if any sweep's per-scenario run errored, so partially failed
-// sweeps cannot look green in CI.
+// -timeline FILE writes the transient-state monitor's violation timelines
+// (JSONL, validated after writing, byte-identical across re-runs and
+// worker counts) for the monitored runs (-smoke, -fig 1); -pprof ADDR
+// serves net/http/pprof for live profiling. The process exits nonzero if
+// any sweep's per-scenario run errored, so partially failed sweeps cannot
+// look green in CI.
 //
 // By default the corpus sweeps are capped at -max-nodes (60) routers so a
 // full run finishes on a laptop; pass -full for the entire 106-topology
@@ -54,6 +57,7 @@ import (
 	"chameleon"
 	"chameleon/internal/chaos"
 	"chameleon/internal/eval"
+	"chameleon/internal/monitor"
 	"chameleon/internal/obs"
 	"chameleon/internal/scenario"
 	"chameleon/internal/scheduler"
@@ -61,21 +65,22 @@ import (
 )
 
 var (
-	figFlag     = flag.String("fig", "", "figure to regenerate (1, 6, 7, 8, 9, 10, 11a, 11b, 12, 13)")
-	tableFlag   = flag.String("table", "", "table to regenerate (1, 2)")
-	allFlag     = flag.Bool("all", false, "regenerate every figure and table")
-	fullFlag    = flag.Bool("full", false, "use the full 106-topology corpus (slow)")
-	maxNodes    = flag.Int("max-nodes", 60, "cap corpus topologies at this size unless -full")
-	seedFlag    = flag.Uint64("seed", 7, "scenario seed")
-	runsFlag    = flag.Int("runs", 5, "runs per point for Figs. 8/13 (paper: 20)")
-	topoFlag    = flag.String("topo", "", "override topology for Figs. 8/13 (default: largest within cap)")
-	outFlag     = flag.String("out", "", "directory to write CSV artifacts into (optional)")
-	chaosFlag   = flag.Bool("chaos", false, "run the fault-injection sweep (topologies × fault kinds)")
-	workersFlag = flag.Int("workers", goruntime.NumCPU(), "parallel scenario runs for the corpus and chaos sweeps (1 = sequential)")
-	traceFlag   = flag.String("trace", "", "write a structured span trace (JSONL) of the instrumented runs to this file")
-	metricsFlag = flag.String("metrics", "", "write the final counter/gauge dump to this file")
-	pprofFlag   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-	smokeFlag   = flag.Bool("smoke", false, "run one traced RunningExample reconfiguration and validate the span tree (CI gate)")
+	figFlag      = flag.String("fig", "", "figure to regenerate (1, 6, 7, 8, 9, 10, 11a, 11b, 12, 13)")
+	tableFlag    = flag.String("table", "", "table to regenerate (1, 2)")
+	allFlag      = flag.Bool("all", false, "regenerate every figure and table")
+	fullFlag     = flag.Bool("full", false, "use the full 106-topology corpus (slow)")
+	maxNodes     = flag.Int("max-nodes", 60, "cap corpus topologies at this size unless -full")
+	seedFlag     = flag.Uint64("seed", 7, "scenario seed")
+	runsFlag     = flag.Int("runs", 5, "runs per point for Figs. 8/13 (paper: 20)")
+	topoFlag     = flag.String("topo", "", "override topology for Figs. 8/13 (default: largest within cap)")
+	outFlag      = flag.String("out", "", "directory to write CSV artifacts into (optional)")
+	chaosFlag    = flag.Bool("chaos", false, "run the fault-injection sweep (topologies × fault kinds)")
+	workersFlag  = flag.Int("workers", goruntime.NumCPU(), "parallel scenario runs for the corpus and chaos sweeps (1 = sequential)")
+	traceFlag    = flag.String("trace", "", "write a structured span trace (JSONL) of the instrumented runs to this file")
+	metricsFlag  = flag.String("metrics", "", "write the final counter/gauge dump to this file")
+	timelineFlag = flag.String("timeline", "", "write the transient-state monitor's violation timelines (JSONL) to this file")
+	pprofFlag    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	smokeFlag    = flag.Bool("smoke", false, "run one traced RunningExample reconfiguration and validate the span tree (CI gate)")
 )
 
 // recorder observes every instrumented run when -trace/-metrics/-smoke ask
@@ -91,8 +96,14 @@ var (
 // that partially failed must not look green").
 var sweepRunErrs int
 
-// writeObsArtifacts exports the recorder once, before any exit path.
+// timelines collects the monitor timelines of every monitored run
+// (-smoke, -fig 1) in execution order for the -timeline artifact.
+var timelines []*monitor.Timeline
+
+// writeObsArtifacts exports the recorder and timelines once, before any
+// exit path.
 func writeObsArtifacts() {
+	writeTimelines()
 	if recorder == nil {
 		return
 	}
@@ -119,6 +130,46 @@ func writeObsArtifacts() {
 			fmt.Printf("(wrote %s)\n", *metricsFlag)
 		}
 	}
+}
+
+// writeTimelines writes the -timeline artifact (one JSONL stream, all
+// monitored runs in execution order) and re-validates the emitted bytes.
+func writeTimelines() {
+	if *timelineFlag == "" {
+		return
+	}
+	if len(timelines) == 0 {
+		fmt.Fprintln(os.Stderr, "writing timeline: no monitored run produced one (-timeline needs -smoke or -fig 1)")
+		sweepRunErrs++
+		return
+	}
+	err := writeFile(*timelineFlag, func(w io.Writer) error {
+		for _, tl := range timelines {
+			if err := tl.WriteJSONL(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "writing timeline:", err)
+		sweepRunErrs++
+		return
+	}
+	f, err := os.Open(*timelineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "validating timeline:", err)
+		sweepRunErrs++
+		return
+	}
+	defer f.Close()
+	recs, err := monitor.ValidateJSONL(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "emitted timeline ill-formed:", err)
+		sweepRunErrs++
+		return
+	}
+	fmt.Printf("(wrote %s: %d records, validated)\n", *timelineFlag, len(recs))
 }
 
 // validateTraceFile re-reads an emitted JSONL trace and runs the
@@ -248,21 +299,35 @@ func main() {
 }
 
 // smoke plans and executes the Fig. 3 running example through the traced,
-// context-aware facade, then checks the recorded span tree for
-// well-formedness and reconciles the execute span's round count with the
-// schedule. It is the CI gate for the observability layer.
+// context-aware facade with the transient-state monitor attached, then
+// checks the recorded span tree for well-formedness, reconciles the
+// execute span's round count with the schedule, and asserts that the
+// monitor saw zero transient invariant violations. It is the CI gate for
+// the observability layer.
 func smoke() error {
 	s := chameleon.RunningExample()
-	rec, err := chameleon.PlanCtx(runCtx, s, chameleon.PlanOptions{})
+	mon := chameleon.NewMonitor(chameleon.MonitorConfig{
+		Name:       "smoke",
+		Invariants: chameleon.DefaultInvariants(s.Graph),
+		Recorder:   recorder,
+	})
+	rec, err := chameleon.PlanCtx(runCtx, s, chameleon.PlanOptions{Monitor: mon})
 	if err != nil {
 		return err
 	}
-	res, err := rec.ExecuteCtx(runCtx, chameleon.ExecOptions{})
+	res, err := rec.ExecuteCtx(runCtx, chameleon.ExecOptions{Monitor: mon})
 	if err != nil {
 		return err
 	}
 	if err := rec.Verify(res); err != nil {
 		return err
+	}
+	tl := mon.Timeline()
+	timelines = append(timelines, tl)
+	if n := len(tl.Violations); n != 0 {
+		v := tl.Violations[0]
+		return fmt.Errorf("monitor recorded %d transient violations (want 0); first: %s at %v on nodes %v",
+			n, v.Invariant, v.Start, v.Nodes)
 	}
 	if err := recorder.Validate(); err != nil {
 		return fmt.Errorf("span tree ill-formed: %w", err)
@@ -279,6 +344,7 @@ func smoke() error {
 	}
 	fmt.Printf("smoke: %d spans, %d rounds traced, R=%d, sim duration %.1f s, spec verified\n",
 		recorder.NumSpans(), rounds, rec.Schedule.R, res.Duration().Seconds())
+	fmt.Printf("monitor: %d transient states checked, 0 violations\n", tl.StatesChecked)
 	fmt.Print(recorder.FlameSummary())
 	return nil
 }
@@ -354,6 +420,10 @@ func fig1() error {
 	saveCSV("fig1_snowcap.csv", func(w io.Writer) error { return eval.WriteCaseStudyCSV(w, r.Snowcap) })
 	saveCSV("fig1_chameleon.csv", func(w io.Writer) error { return eval.WriteCaseStudyCSV(w, r.Chameleon) })
 	saveCSV("fig6_phases.csv", func(w io.Writer) error { return eval.WritePhaseCSV(w, r) })
+	saveCSV("fig1_timeline.csv", func(w io.Writer) error {
+		return eval.WriteTimelineCSV(w, r.SnowcapTimeline, r.ChameleonTimeline)
+	})
+	timelines = append(timelines, r.SnowcapTimeline, r.ChameleonTimeline)
 	fmt.Println("Abilene case study (§6): direct application (Snowcap) vs Chameleon.")
 	fmt.Println("Paper shape: Snowcap finishes in ~1.7 s but transiently drops ~15k packets")
 	fmt.Println("and violates waypointing; Chameleon takes ~30-60x longer with zero violations.")
@@ -364,6 +434,8 @@ func fig1() error {
 	fmt.Printf("\nslowdown: %.1fx   Chameleon clean: %v   Snowcap clean: %v\n",
 		r.ChameleonDuration.Seconds()/r.SnowcapDuration.Seconds(),
 		r.Chameleon.Clean(), r.Snowcap.Clean())
+	fmt.Println("\nMonitor-measured transient violation time (Fig. 9 comparison):")
+	fmt.Print(eval.FormatViolationTable(r))
 	return nil
 }
 

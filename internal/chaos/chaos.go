@@ -11,6 +11,7 @@ import (
 
 	"chameleon/internal/analyzer"
 	"chameleon/internal/fwd"
+	"chameleon/internal/monitor"
 	"chameleon/internal/obs"
 	"chameleon/internal/plan"
 	"chameleon/internal/pool"
@@ -92,6 +93,10 @@ type CaseResult struct {
 	Committed bool
 
 	Violations []string
+	// TransientViolationTime is the union duration of the transient-state
+	// monitor's violation intervals (reach + loop-freedom) during an
+	// unflagged execution; zero for flagged, aborted, or clean runs.
+	TransientViolationTime time.Duration
 	// Fingerprint hashes the fault schedule and the outcome; equal
 	// fingerprints mean identical faults and identical results.
 	Fingerprint uint64
@@ -188,14 +193,26 @@ func flapEvents(s *scenario.Scenario, seed uint64, nflaps int, flapped *int) []r
 	return evs
 }
 
-// verifyInvariants checks the §3 guarantees offline on the recorded
-// forwarding trace: loop-freedom and reachability of every intermediate
-// state, at most one next-hop change per node, final state equal to the
-// analyzed target, and bounded transient eBGP exports. Session flaps
-// legitimately cause extra (forwarding-equivalent) churn and export
-// refreshes, so strict=false skips the change-count and export bounds —
-// harmful flaps are caught by the reachability monitor instead.
-func verifyInvariants(a *analyzer.Analysis, s *scenario.Scenario, start time.Duration, strict bool) []string {
+// timelineViolations renders the transient-state monitor's violation
+// intervals as the chaos report's violation strings.
+func timelineViolations(tl *monitor.Timeline) []string {
+	var out []string
+	for _, v := range tl.Violations {
+		out = append(out, fmt.Sprintf("%s violated %.2fs–%.2fs (%d nodes)",
+			v.Invariant, v.Start.Seconds(), v.End.Seconds(), len(v.Nodes)))
+	}
+	return out
+}
+
+// verifyEndState checks the trace-shape guarantees of §3 that the online
+// monitor cannot see per state: at most one next-hop change per node,
+// final state equal to the analyzed target, and bounded transient eBGP
+// exports. Per-state loop-freedom and reachability are the transient-state
+// monitor's job (see RunCaseCtx). Session flaps legitimately cause extra
+// (forwarding-equivalent) churn and export refreshes, so strict=false
+// skips the change-count and export bounds — harmful flaps are caught by
+// the monitor instead.
+func verifyEndState(a *analyzer.Analysis, s *scenario.Scenario, start time.Duration, strict bool) []string {
 	var viol []string
 	full := s.Net.Trace(s.Prefix)
 	full.Compact()
@@ -214,16 +231,6 @@ func verifyInvariants(a *analyzer.Analysis, s *scenario.Scenario, start time.Dur
 		return []string{"no forwarding trace recorded during execution"}
 	}
 	internal := s.Graph.Internal()
-	for i, st := range tr.States {
-		if st.HasLoop() {
-			viol = append(viol, fmt.Sprintf("forwarding loop at t=%.2fs", tr.Times[i]))
-		}
-		for _, n := range internal {
-			if !st.Reach(n) {
-				viol = append(viol, fmt.Sprintf("node n%d unreachable at t=%.2fs", int(n), tr.Times[i]))
-			}
-		}
-	}
 	final := tr.States[len(tr.States)-1]
 	for _, n := range internal {
 		if final[n] != a.NHNew[n] {
@@ -315,8 +322,24 @@ func RunCaseCtx(ctx context.Context, c Case) (*CaseResult, error) {
 		opts.ExternalEvents = flapEvents(s, c.Seed, 2, &flapped)
 	}
 
+	// The transient-state monitor observes every forwarding snapshot of
+	// the execution online (reach + loop-freedom, per-round attribution).
+	// No convergence gate here: chaos measures the executor under its
+	// default advancement policy, and gating would shift fault timing.
+	mon := monitor.New(monitor.Config{
+		Name: "chaos",
+		Invariants: []monitor.Invariant{
+			monitor.ReachAll(s.Graph), monitor.LoopFree(),
+		},
+	})
+	opts.PhaseObserver = mon.SetPhase
+
 	ex := runtime.NewExecutor(s.Net, opts)
+	unbind := mon.Bind(s.Net)
 	res, execErr := ex.ExecuteCtx(ctx, p)
+	// Unbind before any Abort below: teardown churn is outside the §3
+	// guarantee and must not enter the timeline.
+	unbind()
 	if cerr := ctx.Err(); cerr != nil {
 		// Caller cancellation is not a controller abort; the case has no
 		// outcome.
@@ -352,7 +375,13 @@ func RunCaseCtx(ctx context.Context, c Case) (*CaseResult, error) {
 		case flagged:
 			out.Outcome = OutcomeDegraded
 		default:
-			out.Violations = verifyInvariants(a, s, res.Start, c.Fault != sim.FaultFlap)
+			// Classification derives from the monitor's timeline (every
+			// transient state, checked online) plus the trace-shape checks
+			// only the full trace can answer.
+			tl := mon.Finish(s.Net.Now())
+			out.TransientViolationTime = tl.TotalViolation()
+			out.Violations = append(timelineViolations(tl),
+				verifyEndState(a, s, res.Start, c.Fault != sim.FaultFlap)...)
 			switch {
 			case len(out.Violations) > 0:
 				out.Outcome = OutcomeViolation
@@ -369,9 +398,10 @@ func RunCaseCtx(ctx context.Context, c Case) (*CaseResult, error) {
 	}
 
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d;%s;%d;%s;%v;%d;%d;%d;%+v",
+	fmt.Fprintf(h, "%d;%s;%d;%s;%v;%d;%d;%d;%d;%+v",
 		inj.Fingerprint(), out.Outcome, out.SimDuration, out.Err,
-		out.Violations, flapped, out.CommandsApplied, out.Rounds, rec)
+		out.Violations, out.TransientViolationTime, flapped,
+		out.CommandsApplied, out.Rounds, rec)
 	out.Fingerprint = h.Sum64()
 	return out, nil
 }

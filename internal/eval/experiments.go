@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"chameleon/internal/analyzer"
+	"chameleon/internal/monitor"
 	"chameleon/internal/obs"
 	"chameleon/internal/plan"
 	"chameleon/internal/pool"
@@ -84,6 +85,34 @@ type CaseStudyResult struct {
 	Phases            []runtime.PhaseSpan
 	R                 int
 	TempSessions      int
+
+	// Transient-state monitor output for both runs: the paper's Fig. 1 /
+	// Fig. 9 comparison is SnowcapViolationTime (strictly positive — the
+	// baseline's steady-state guarantees miss the transient) against
+	// ChameleonViolationTime (zero by construction).
+	SnowcapTimeline        *monitor.Timeline
+	SnowcapViolationTime   time.Duration
+	ChameleonTimeline      *monitor.Timeline
+	ChameleonViolationTime time.Duration
+}
+
+// caseStudyInvariants builds the monitored invariant set of the §6/§7 case
+// study: full reachability, loop-freedom, and the Eq. 4 waypoint
+// projection (each node exits via e1 or its final egress, never a third).
+func caseStudyInvariants(s *scenario.Scenario, a *analyzer.Analysis) []monitor.Invariant {
+	pairs := make(map[topology.NodeID][2]topology.NodeID)
+	for _, n := range a.Graph.Internal() {
+		en := a.NHNew.Egress(n)
+		if en == topology.None {
+			continue
+		}
+		pairs[n] = [2]topology.NodeID{s.E1, en}
+	}
+	return []monitor.Invariant{
+		monitor.ReachAll(s.Graph),
+		monitor.LoopFree(),
+		monitor.WaypointEither(pairs),
+	}
 }
 
 // waypointRules derives the Eq. 4 measurement rules: each node exits via e1
@@ -116,12 +145,18 @@ func RunCaseStudy(name string, seed uint64) (*CaseStudyResult, error) {
 		return nil, err
 	}
 	start := sSnow.Net.Now()
-	sSnow.Net.RecordInitialState(sSnow.Prefix)
-	snowRes, err := snowcap.Apply(sSnow.Net, sSnow.Commands, []int{0}, 1700*time.Millisecond)
+	mSnow := monitor.New(monitor.Config{
+		Name:       "snowcap",
+		Invariants: caseStudyInvariants(sSnow, aSnow),
+	})
+	snowRes, err := snowcap.ApplyMonitored(sSnow.Net, sSnow.Prefix, sSnow.Commands,
+		[]int{0}, 1700*time.Millisecond, mSnow)
 	if err != nil {
 		return nil, err
 	}
 	out.SnowcapDuration = snowRes.Duration()
+	out.SnowcapTimeline = snowRes.Timeline
+	out.SnowcapViolationTime = snowRes.ViolationTime
 	out.Snowcap = traffic.Measure(sSnow.Net.Trace(sSnow.Prefix), sSnow.Graph.Internal(),
 		waypointRules(aSnow, sSnow.E1), traffic.Options{
 			RatePerNode: 1500, Step: 0.01,
@@ -137,11 +172,22 @@ func RunCaseStudy(name string, seed uint64) (*CaseStudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	ex := runtime.NewExecutor(sCham.Net, runtime.DefaultOptions(seed))
+	mCham := monitor.New(monitor.Config{
+		Name:       "chameleon",
+		Invariants: caseStudyInvariants(sCham, pl.Analysis),
+	})
+	ro := runtime.DefaultOptions(seed)
+	ro.PhaseObserver = mCham.SetPhase
+	ro.Convergence = mCham.Gate(0)
+	ex := runtime.NewExecutor(sCham.Net, ro)
+	unbind := mCham.Bind(sCham.Net)
 	res, err := ex.Execute(pl.Plan)
+	unbind()
 	if err != nil {
 		return nil, err
 	}
+	out.ChameleonTimeline = mCham.Finish(sCham.Net.Now())
+	out.ChameleonViolationTime = out.ChameleonTimeline.TotalViolation()
 	out.ChameleonDuration = res.Duration()
 	out.Phases = res.Phases
 	out.R = pl.Schedule.R

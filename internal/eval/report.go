@@ -9,8 +9,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"chameleon/internal/chaos"
+	"chameleon/internal/monitor"
 	"chameleon/internal/traffic"
 )
 
@@ -168,6 +170,111 @@ func SaveAllCSV(dir string, r *CaseStudyResult) error {
 	return nil
 }
 
+// WriteTimelineCSV writes the monitors' violation timelines: one row per
+// violation interval with onset, duration, blast radius and phase
+// attribution, preceded by one summary row per run. Timelines serialize in
+// the order given; violations keep their (deterministic) event order.
+func WriteTimelineCSV(w io.Writer, tls ...*monitor.Timeline) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"run", "kind", "invariant", "prefix", "start_s", "end_s",
+		"duration_s", "tick", "phase", "nodes", "open",
+	}); err != nil {
+		return err
+	}
+	for _, tl := range tls {
+		if tl == nil {
+			continue
+		}
+		if err := cw.Write([]string{
+			tl.Name, "summary", "", "", "", "",
+			formatF(tl.TotalViolation().Seconds()),
+			strconv.Itoa(tl.StatesChecked), "",
+			strconv.Itoa(len(tl.Violations)), "",
+		}); err != nil {
+			return err
+		}
+		for _, v := range tl.Violations {
+			nodes := make([]string, len(v.Nodes))
+			for i, n := range v.Nodes {
+				nodes[i] = strconv.Itoa(int(n))
+			}
+			if err := cw.Write([]string{
+				tl.Name, "violation", v.Invariant, strconv.Itoa(int(v.Prefix)),
+				formatF(v.Start.Seconds()), formatF(v.End.Seconds()),
+				formatF(v.Duration().Seconds()),
+				strconv.FormatUint(v.StartTick, 10), v.Phase,
+				strings.Join(nodes, " "), strconv.FormatBool(v.Open),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ViolationComparison is one row of the Fig. 9-style violation-duration
+// table: for one invariant, the union transient violation time of the
+// Snowcap baseline against Chameleon's.
+type ViolationComparison struct {
+	Invariant string
+	Snowcap   time.Duration
+	Chameleon time.Duration
+}
+
+// CompareViolations derives the per-invariant Fig. 9 comparison from a
+// case study's two timelines, in the invariant order both monitors share,
+// with a trailing "any" row for the union across invariants.
+func CompareViolations(r *CaseStudyResult) []ViolationComparison {
+	var names []string
+	seen := make(map[string]bool)
+	for _, tl := range []*monitor.Timeline{r.SnowcapTimeline, r.ChameleonTimeline} {
+		if tl == nil {
+			continue
+		}
+		for _, v := range tl.Violations {
+			if !seen[v.Invariant] {
+				seen[v.Invariant] = true
+				names = append(names, v.Invariant)
+			}
+		}
+	}
+	sort.Strings(names)
+	var out []ViolationComparison
+	for _, name := range names {
+		c := ViolationComparison{Invariant: name}
+		if r.SnowcapTimeline != nil {
+			c.Snowcap = r.SnowcapTimeline.ByInvariant(name)
+		}
+		if r.ChameleonTimeline != nil {
+			c.Chameleon = r.ChameleonTimeline.ByInvariant(name)
+		}
+		out = append(out, c)
+	}
+	total := ViolationComparison{Invariant: "any"}
+	if r.SnowcapTimeline != nil {
+		total.Snowcap = r.SnowcapTimeline.TotalViolation()
+	}
+	if r.ChameleonTimeline != nil {
+		total.Chameleon = r.ChameleonTimeline.TotalViolation()
+	}
+	return append(out, total)
+}
+
+// FormatViolationTable renders the Fig. 9-style transient violation
+// comparison as a plain-text table.
+func FormatViolationTable(r *CaseStudyResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %14s %14s\n", "invariant", "snowcap", "chameleon")
+	b.WriteString(strings.Repeat("-", 42) + "\n")
+	for _, c := range CompareViolations(r) {
+		fmt.Fprintf(&b, "%-12s %13.3fs %13.3fs\n",
+			c.Invariant, c.Snowcap.Seconds(), c.Chameleon.Seconds())
+	}
+	return b.String()
+}
+
 // WriteChaosCSV writes one row per chaos case: the fault matrix cell, its
 // outcome, and the full fault/recovery accounting. Rows are sorted by the
 // (topology, fault, seed) case key, so the file is stable regardless of the
@@ -187,7 +294,7 @@ func WriteChaosCSV(w io.Writer, results []chaos.CaseResult) error {
 		"topology", "fault", "seed", "outcome", "sim_duration_s", "rounds",
 		"commands", "cmd_faults", "msg_faults", "flaps",
 		"retries", "repushes", "escalations", "acks_lost", "monitor_alarms",
-		"committed", "violations", "fingerprint", "error",
+		"committed", "violations", "transient_violation_s", "fingerprint", "error",
 	}); err != nil {
 		return err
 	}
@@ -203,6 +310,7 @@ func WriteChaosCSV(w io.Writer, results []chaos.CaseResult) error {
 			strconv.Itoa(r.Recovery.MonitorAlarms),
 			strconv.FormatBool(r.Committed),
 			strings.Join(r.Violations, "; "),
+			formatF(r.TransientViolationTime.Seconds()),
 			strconv.FormatUint(r.Fingerprint, 16), r.Err,
 		}); err != nil {
 			return err

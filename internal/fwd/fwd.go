@@ -80,36 +80,85 @@ func (s State) Waypoint(n, w topology.NodeID) bool {
 	return slices.Contains(path, w)
 }
 
-// HasLoop reports whether any node's forwarding path loops.
-func (s State) HasLoop() bool {
+// Loop-classification colors. The forwarding state is a functional graph
+// (each node has at most one successor), so a single three-color DFS shared
+// across all start nodes classifies every node in O(|N|): grey marks the
+// chain currently being walked, and the two final colors record whether a
+// node's traffic eventually enters a cycle or terminates (exit or drop).
+const (
+	loopWhite  uint8 = iota // unvisited
+	loopGrey                // on the chain currently being walked
+	loopCycles              // resolved: path enters a forwarding loop
+	loopTerm                // resolved: path terminates (External or Drop)
+)
+
+// classifyLoops walks every forwarding chain once and returns, per node,
+// whether its path enters a forwarding loop. Each node is pushed and
+// resolved exactly once, so the whole-state check is linear — the online
+// monitor loop-checks every transient snapshot, which made the previous
+// walk-per-router quadratic version a hot path.
+func (s State) classifyLoops() []uint8 {
+	color := make([]uint8, len(s))
+	var chain []topology.NodeID
 	for n := range s {
-		if s[n] == Drop || s[n] == External {
+		if color[n] != loopWhite {
 			continue
 		}
-		if _, term := s.Path(topology.NodeID(n)); term == Drop {
-			// Distinguish loop from honest drop: re-walk and check cycle.
-			if s.loopsFrom(topology.NodeID(n)) {
-				return true
+		cur := topology.NodeID(n)
+		chain = chain[:0]
+		verdict := loopTerm
+		for {
+			nh := s[cur]
+			if nh == Drop || nh == External {
+				break
 			}
+			color[cur] = loopGrey
+			chain = append(chain, cur)
+			switch color[nh] {
+			case loopGrey: // closed a cycle within this chain
+				verdict = loopCycles
+			case loopCycles:
+				verdict = loopCycles
+			case loopTerm:
+				verdict = loopTerm
+			case loopWhite:
+				cur = nh
+				continue
+			}
+			break
+		}
+		if color[cur] == loopWhite { // chain ended on a terminal node
+			color[cur] = loopTerm
+		}
+		for _, m := range chain {
+			color[m] = verdict
+		}
+	}
+	return color
+}
+
+// HasLoop reports whether any node's forwarding path loops. Single-pass:
+// one shared three-color DFS over the functional graph, O(|N|) per state.
+func (s State) HasLoop() bool {
+	for _, c := range s.classifyLoops() {
+		if c == loopCycles {
+			return true
 		}
 	}
 	return false
 }
 
-func (s State) loopsFrom(n topology.NodeID) bool {
-	seen := make(map[topology.NodeID]bool)
-	cur := n
-	for {
-		if seen[cur] {
-			return true
+// LoopNodes returns every node whose forwarding path enters a loop (cycle
+// members and the chains feeding them), in node-ID order — the blast
+// radius of a loop-freedom violation.
+func (s State) LoopNodes() []topology.NodeID {
+	var out []topology.NodeID
+	for n, c := range s.classifyLoops() {
+		if c == loopCycles {
+			out = append(out, topology.NodeID(n))
 		}
-		seen[cur] = true
-		nh := s[cur]
-		if nh == Drop || nh == External {
-			return false
-		}
-		cur = nh
 	}
+	return out
 }
 
 // Egress returns the node at which traffic from n exits, or topology.None

@@ -1,0 +1,346 @@
+// Package monitor implements the online transient-state monitor: it
+// subscribes to the simulator's per-prefix forwarding-state snapshots and
+// checks every transient state against the forwarding invariants the plan
+// promised to preserve (reach / waypoint / loop-freedom, §3). Where the
+// analyzer proves invariants at planning time and the chaos harness checks
+// traces after the fact, the monitor closes the loop at execution time:
+// each snapshot becomes a checked, timestamped fact, violations become
+// timeline intervals with onset, duration, blast radius and per-round
+// attribution, and the observed quiescence of the forwarding plane gates
+// round advancement in the runtime executor (§8's runtime-monitoring
+// posture).
+//
+// Determinism contract: the monitor is driven synchronously from the
+// simulator's event loop (snapshots arrive in event order, prefixes sorted
+// within an event), invariants are checked in configuration order, and no
+// wall-clock time is ever recorded — a timeline is a pure function of the
+// scenario seed, so re-runs and worker-count changes reproduce it
+// byte-identically.
+package monitor
+
+import (
+	"slices"
+	"time"
+
+	"chameleon/internal/bgp"
+	"chameleon/internal/fwd"
+	"chameleon/internal/obs"
+	"chameleon/internal/sim"
+	"chameleon/internal/spec"
+	"chameleon/internal/topology"
+)
+
+// Invariant is one online-checkable forwarding property. Check returns
+// whether the state satisfies it and, when it does not, the affected
+// routers (the blast radius), in ascending node-ID order.
+type Invariant struct {
+	Name  string
+	Check func(fwd.State) (ok bool, affected []topology.NodeID)
+}
+
+// ReachAll is the reachability invariant ∧_n reach(n) over the internal
+// nodes of g: every router forwards traffic to the external destination.
+func ReachAll(g *topology.Graph) Invariant {
+	nodes := slices.Clone(g.Internal())
+	slices.Sort(nodes)
+	return Invariant{
+		Name: "reach",
+		Check: func(s fwd.State) (bool, []topology.NodeID) {
+			var bad []topology.NodeID
+			for _, n := range nodes {
+				if !s.Reach(n) {
+					bad = append(bad, n)
+				}
+			}
+			return len(bad) == 0, bad
+		},
+	}
+}
+
+// LoopFree is the loop-freedom invariant: no router's forwarding path
+// enters a cycle. The blast radius is every node whose traffic loops.
+func LoopFree() Invariant {
+	return Invariant{
+		Name: "loop-free",
+		Check: func(s fwd.State) (bool, []topology.NodeID) {
+			nodes := s.LoopNodes()
+			return len(nodes) == 0, nodes
+		},
+	}
+}
+
+// WaypointEither is the transient projection of the Eq. 4 waypoint
+// specification wp(n, e1) U G wp(n, en): every source that reaches the
+// destination must traverse its old or its new egress — never a third
+// exit. pairs maps each constrained source to its (old, new) egress pair;
+// sources that drop are not blamed here (that is ReachAll's job), avoiding
+// double-counted blast radii.
+func WaypointEither(pairs map[topology.NodeID][2]topology.NodeID) Invariant {
+	srcs := make([]topology.NodeID, 0, len(pairs))
+	for n := range pairs {
+		srcs = append(srcs, n)
+	}
+	slices.Sort(srcs)
+	return Invariant{
+		Name: "waypoint",
+		Check: func(s fwd.State) (bool, []topology.NodeID) {
+			var bad []topology.NodeID
+			for _, n := range srcs {
+				if !s.Reach(n) {
+					continue
+				}
+				p := pairs[n]
+				if !s.Waypoint(n, p[0]) && !s.Waypoint(n, p[1]) {
+					bad = append(bad, n)
+				}
+			}
+			return len(bad) == 0, bad
+		},
+	}
+}
+
+// FromSpec wraps a compiled specification as an invariant using its
+// steady-state projection (spec.EvalState): the propositional content of
+// the spec is checked against each transient state, and the blast radius
+// is the source nodes of its failing atoms.
+func FromSpec(name string, sp *spec.Spec) Invariant {
+	return Invariant{
+		Name: name,
+		Check: func(s fwd.State) (bool, []topology.NodeID) {
+			if sp.EvalState(s) {
+				return true, nil
+			}
+			var bad []topology.NodeID
+			for _, e := range sp.FailingAtoms(s) {
+				bad = append(bad, e.Node)
+			}
+			slices.Sort(bad)
+			return false, slices.Compact(bad)
+		},
+	}
+}
+
+// Config configures a Monitor.
+type Config struct {
+	// Name labels the monitored run in exported timelines (e.g.
+	// "chameleon", "snowcap").
+	Name string
+	// Invariants are checked against every snapshot, in order.
+	Invariants []Invariant
+	// Recorder, when set, receives the monitor counters at Finish:
+	// monitor_states_checked, monitor_violations, monitor_violation_time_ns
+	// and one monitor_violations_<invariant> counter per violated
+	// invariant. Nil disables recording.
+	Recorder *obs.Recorder
+}
+
+// Monitor checks forwarding snapshots online and accumulates a violation
+// timeline. It is driven from the simulator's event loop and is not safe
+// for concurrent use.
+type Monitor struct {
+	cfg   Config
+	phase string
+	tick  uint64
+
+	statesChecked int
+	lastSeen      map[bgp.Prefix]fwd.State
+	lastChange    time.Duration
+	now           time.Duration
+
+	open     []*Violation // one per currently-violated (invariant, prefix)
+	openInv  []int        // parallel: invariant index of open[i]
+	timeline Timeline
+	finished bool
+}
+
+// New returns a monitor for the given configuration.
+func New(cfg Config) *Monitor {
+	return &Monitor{
+		cfg:      cfg,
+		lastSeen: make(map[bgp.Prefix]fwd.State),
+		timeline: Timeline{Name: cfg.Name},
+	}
+}
+
+// Track appends an invariant to the monitored set. It must be called
+// before the first snapshot is observed (e.g. at plan time, to track the
+// compiled specification alongside the structural invariants).
+func (m *Monitor) Track(inv Invariant) {
+	if m.statesChecked > 0 {
+		panic("monitor: Track after observation started")
+	}
+	m.cfg.Invariants = append(m.cfg.Invariants, inv)
+}
+
+// SetPhase labels subsequently-observed violations with the named execution
+// phase; wire it to runtime.Options.PhaseObserver for per-round
+// attribution.
+func (m *Monitor) SetPhase(name string) { m.phase = name }
+
+// Observe checks one forwarding-state snapshot. Its signature matches
+// sim.SnapshotHook, so it can be installed directly (Bind does).
+func (m *Monitor) Observe(at time.Duration, prefix bgp.Prefix, st fwd.State) {
+	m.tick++
+	m.statesChecked++
+	m.now = at
+	if prev, ok := m.lastSeen[prefix]; !ok || !st.Equal(prev) {
+		m.lastChange = at
+		m.lastSeen[prefix] = st
+	}
+	for idx, inv := range m.cfg.Invariants {
+		ok, affected := inv.Check(st)
+		v := m.findOpen(idx, prefix)
+		switch {
+		case ok && v != nil:
+			m.closeViolation(idx, prefix, at)
+		case !ok && v == nil:
+			m.open = append(m.open, &Violation{
+				Invariant: inv.Name,
+				Prefix:    prefix,
+				Start:     at,
+				End:       at,
+				StartTick: m.tick,
+				Phase:     m.phase,
+				Nodes:     slices.Clone(affected),
+			})
+			m.openInv = append(m.openInv, idx)
+		case !ok:
+			// Still violated: extend and widen the blast radius.
+			v.End = at
+			v.Nodes = mergeNodes(v.Nodes, affected)
+		}
+	}
+}
+
+// findOpen returns the open violation for (invariant idx, prefix), if any.
+func (m *Monitor) findOpen(idx int, prefix bgp.Prefix) *Violation {
+	for i, v := range m.open {
+		if m.openInv[i] == idx && v.Prefix == prefix {
+			return v
+		}
+	}
+	return nil
+}
+
+// closeViolation moves the open violation for (idx, prefix) to the
+// timeline with the given end time.
+func (m *Monitor) closeViolation(idx int, prefix bgp.Prefix, end time.Duration) {
+	for i, v := range m.open {
+		if m.openInv[i] != idx || v.Prefix != prefix {
+			continue
+		}
+		v.End = end
+		m.timeline.Violations = append(m.timeline.Violations, *v)
+		m.open = slices.Delete(m.open, i, i+1)
+		m.openInv = slices.Delete(m.openInv, i, i+1)
+		return
+	}
+}
+
+// mergeNodes returns the sorted union of two ascending node lists.
+func mergeNodes(a, b []topology.NodeID) []topology.NodeID {
+	for _, n := range b {
+		if _, found := slices.BinarySearch(a, n); !found {
+			a = append(a, n)
+		}
+	}
+	slices.Sort(a)
+	return a
+}
+
+// Bind installs the monitor's Observe as net's snapshot hook and anchors
+// the quiescence clock at the network's current time. It returns a detach
+// function restoring the previous (nil) hook; detach before observing
+// states that should not count, e.g. an Abort's teardown churn.
+func (m *Monitor) Bind(net *sim.Network) func() {
+	m.lastChange = net.Now()
+	m.now = net.Now()
+	net.SetSnapshotHook(m.Observe)
+	return func() { net.SetSnapshotHook(nil) }
+}
+
+// DefaultGateWindow is the quiet period after which the forwarding plane is
+// considered converged: two orders of magnitude above the per-message
+// timescale (10 ms base delay + 20 ms jitter), far below the 8–12 s router
+// command latency, so gating never masks churn nor stretches rounds.
+const DefaultGateWindow = 2 * time.Second
+
+// Gate returns a convergence predicate for runtime.Options.Convergence:
+// the forwarding plane is quiescent when the event queue is empty, when no
+// forwarding change has been observed for window, or when no pending event
+// falls inside the window (nothing can change forwarding before it
+// closes). A window of 0 uses DefaultGateWindow.
+func (m *Monitor) Gate(window time.Duration) func(*sim.Network) bool {
+	if window <= 0 {
+		window = DefaultGateWindow
+	}
+	return func(net *sim.Network) bool {
+		if net.Converged() {
+			return true
+		}
+		quietAt := m.lastChange + window
+		if net.Now() >= quietAt {
+			return true
+		}
+		next, ok := net.NextEventAt()
+		return ok && next > quietAt
+	}
+}
+
+// ViolationCount returns the number of violation intervals recorded so
+// far, open ones included.
+func (m *Monitor) ViolationCount() int {
+	return len(m.timeline.Violations) + len(m.open)
+}
+
+// Finish closes any still-open violations at the given time (marking them
+// unrecovered), flushes the monitor counters to the configured recorder,
+// and returns the completed timeline. Further snapshots must not be
+// observed after Finish.
+func (m *Monitor) Finish(at time.Duration) *Timeline {
+	if m.finished {
+		return &m.timeline
+	}
+	m.finished = true
+	if at < m.now {
+		at = m.now
+	}
+	// Close in invariant order, then prefix order: deterministic.
+	for idx := range m.cfg.Invariants {
+		var prefixes []bgp.Prefix
+		for i, v := range m.open {
+			if m.openInv[i] == idx {
+				prefixes = append(prefixes, v.Prefix)
+			}
+		}
+		slices.Sort(prefixes)
+		for _, p := range prefixes {
+			v := m.findOpen(idx, p)
+			v.Open = true
+			m.closeViolation(idx, p, at)
+		}
+	}
+	m.timeline.StatesChecked = m.statesChecked
+	m.timeline.End = at
+	if rec := m.cfg.Recorder; rec != nil {
+		rec.Add(obs.CtrMonitorStatesChecked, int64(m.statesChecked))
+		rec.Add(obs.CtrMonitorViolations, int64(len(m.timeline.Violations)))
+		rec.Add(obs.CtrMonitorViolationTime, int64(m.timeline.TotalViolation()))
+		for _, inv := range m.cfg.Invariants {
+			n := int64(0)
+			for _, v := range m.timeline.Violations {
+				if v.Invariant == inv.Name {
+					n++
+				}
+			}
+			if n > 0 {
+				rec.Add("monitor_violations_"+inv.Name, n)
+			}
+		}
+	}
+	return &m.timeline
+}
+
+// Timeline returns the timeline accumulated so far (closed violations
+// only; call Finish to include open ones and the summary fields).
+func (m *Monitor) Timeline() *Timeline { return &m.timeline }

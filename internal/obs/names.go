@@ -37,4 +37,11 @@ const (
 	// Chaos harness.
 	CtrChaosCases      = "chaos_cases"
 	CtrChaosViolations = "chaos_violations"
+
+	// Transient-state monitor. Violation time is recorded in integer
+	// nanoseconds of simulated time (counters are int64; the unit is part
+	// of the name so dumps stay self-describing).
+	CtrMonitorStatesChecked = "monitor_states_checked"
+	CtrMonitorViolations    = "monitor_violations"
+	CtrMonitorViolationTime = "monitor_violation_time_ns"
 )

@@ -60,6 +60,20 @@ type Options struct {
 	// Reaction selects how the controller responds to a Monitor alarm or
 	// an exhausted escalation ladder.
 	Reaction ReactionPolicy
+	// Convergence, when set, gates phase completion on observed forwarding
+	// convergence: a phase whose commands are all confirmed and whose
+	// post-conditions hold still keeps processing events until the gate
+	// reports the forwarding plane quiescent. An empty event queue always
+	// completes the phase regardless of the gate (nothing further can
+	// change), and the ConditionTimeout watchdog remains the fallback for
+	// gates that never open. The transient-state monitor's Gate provides
+	// the canonical implementation.
+	Convergence func(*sim.Network) bool
+	// PhaseObserver, when set, is told the name of every execution phase as
+	// it starts (setup, between k, round k, cleanup, commit), independent
+	// of whether a Recorder is attached. The transient-state monitor uses
+	// it to attribute violations to the round that caused them.
+	PhaseObserver func(name string)
 	// Recorder, when set, receives the execution trace: an "execute" span
 	// with one child per phase (setup, between k, round k, cleanup,
 	// commit), stamped with the simulated clock, plus the command/retry/
@@ -303,7 +317,11 @@ func (e *Executor) count(name string, delta int64) {
 
 // startPhase opens a trace span for one phase and points the sim layer's
 // counter attribution at it; endPhase closes it and reverts attribution.
+// Phase observers are notified first, recorder or not.
 func (e *Executor) startPhase(name string) *obs.Span {
+	if e.opts.PhaseObserver != nil {
+		e.opts.PhaseObserver(name)
+	}
 	if e.obsRec == nil {
 		return nil
 	}
@@ -753,7 +771,11 @@ func (e *Executor) runSteps(p *plan.Plan, steps []plan.Step) error {
 					steps[i].Command.Description, s.attempts))
 			}
 		}
-		// Done when all commands confirmed and all posts hold.
+		// Done when all commands confirmed and all posts hold — and, when a
+		// convergence gate is installed, once the forwarding plane has been
+		// observed quiescent. An empty queue satisfies any gate (no event
+		// can change forwarding anymore), which keeps arbitrary gates from
+		// deadlocking a drained network.
 		done := true
 		for i := range steps {
 			if !st[i].pushed || !postOK(i) {
@@ -762,7 +784,9 @@ func (e *Executor) runSteps(p *plan.Plan, steps []plan.Step) error {
 			}
 		}
 		if done {
-			return nil
+			if e.opts.Convergence == nil || e.net.Converged() || e.opts.Convergence(e.net) {
+				return nil
+			}
 		}
 		if progress {
 			watchdog = e.net.Now() + e.opts.ConditionTimeout

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand/v2"
+	"slices"
 	"time"
 
 	"chameleon/internal/bgp"
@@ -59,6 +60,11 @@ type Network struct {
 	traces   map[bgp.Prefix]*fwd.Trace
 	traceAll bool
 	dirty    map[bgp.Prefix]bool
+
+	// snapHook, when set, observes every forwarding-state snapshot the
+	// moment it is appended to a trace (see SetSnapshotHook). Not
+	// inherited by Clone.
+	snapHook SnapshotHook
 
 	// maxTableEntries tracks the §7.3 metric: the maximum, over time, of
 	// the network-wide total number of Adj-RIB-In entries.
@@ -394,6 +400,17 @@ func (n *Network) RunUntil(t time.Duration) int {
 // Pending returns the number of queued events.
 func (n *Network) Pending() int { return n.queue.Len() }
 
+// NextEventAt returns the time of the earliest pending event, or false with
+// an empty queue. Convergence gates use it to tell "churn still in flight"
+// from "only far-future work remains": if nothing is scheduled inside the
+// quiet window, the forwarding plane cannot change before it closes.
+func (n *Network) NextEventAt() (time.Duration, bool) {
+	if n.queue.Len() == 0 {
+		return 0, false
+	}
+	return n.queue[0].at, true
+}
+
 // Converged reports whether no BGP messages or scheduled functions remain.
 func (n *Network) Converged() bool { return n.queue.Len() == 0 }
 
@@ -646,20 +663,54 @@ func (n *Network) Trace(prefix bgp.Prefix) *fwd.Trace {
 	return n.traces[prefix]
 }
 
+// SnapshotHook observes forwarding-state snapshots as the simulator takes
+// them: it is called once per (event, prefix) whose routing changed, right
+// after the state is appended to the prefix's trace. The state is a fresh
+// copy the hook may retain. Hooks run on the simulator's event loop, so
+// they see every transient state in event order — the transient-state
+// monitor subscribes here.
+type SnapshotHook func(at time.Duration, prefix bgp.Prefix, state fwd.State)
+
+// SetSnapshotHook installs (or, with nil, removes) the snapshot hook. Only
+// prefixes with tracing enabled produce snapshots; pass the prefixes of
+// interest via Options.TracePrefixes (or nil to trace all).
+func (n *Network) SetSnapshotHook(h SnapshotHook) { n.snapHook = h }
+
 // snapshotDirty records a forwarding-state snapshot for every prefix whose
 // routing changed during the last event.
 func (n *Network) snapshotDirty() {
-	for p := range n.dirty {
-		delete(n.dirty, p)
-		tr := n.traces[p]
-		if tr == nil {
-			if !n.traceAll {
-				continue
-			}
-			tr = &fwd.Trace{}
-			n.traces[p] = tr
+	if n.snapHook != nil && len(n.dirty) > 1 {
+		// The dirty set is a map; with an observer attached the per-event
+		// prefix order becomes output-affecting, so fix it.
+		ps := make([]bgp.Prefix, 0, len(n.dirty))
+		for p := range n.dirty {
+			ps = append(ps, p)
 		}
-		tr.Append(n.now.Seconds(), n.ForwardingState(p))
+		slices.Sort(ps)
+		for _, p := range ps {
+			n.snapshotOne(p)
+		}
+		return
+	}
+	for p := range n.dirty {
+		n.snapshotOne(p)
+	}
+}
+
+func (n *Network) snapshotOne(p bgp.Prefix) {
+	delete(n.dirty, p)
+	tr := n.traces[p]
+	if tr == nil {
+		if !n.traceAll {
+			return
+		}
+		tr = &fwd.Trace{}
+		n.traces[p] = tr
+	}
+	st := n.ForwardingState(p)
+	tr.Append(n.now.Seconds(), st)
+	if n.snapHook != nil {
+		n.snapHook(n.now, p, st)
 	}
 }
 
@@ -672,7 +723,11 @@ func (n *Network) RecordInitialState(prefix bgp.Prefix) {
 		tr = &fwd.Trace{}
 		n.traces[prefix] = tr
 	}
-	tr.Append(n.now.Seconds(), n.ForwardingState(prefix))
+	st := n.ForwardingState(prefix)
+	tr.Append(n.now.Seconds(), st)
+	if n.snapHook != nil {
+		n.snapHook(n.now, prefix, st)
+	}
 }
 
 // Clone deep-copies the entire network state (topology and options shared,

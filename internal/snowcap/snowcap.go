@@ -14,6 +14,7 @@ import (
 
 	"chameleon/internal/bgp"
 	"chameleon/internal/fwd"
+	"chameleon/internal/monitor"
 	"chameleon/internal/sim"
 	"chameleon/internal/spec"
 )
@@ -26,6 +27,12 @@ type Result struct {
 	Order []int
 	// StatesExplored counts steady states evaluated during synthesis.
 	StatesExplored int
+	// Timeline, from ApplyMonitored, records the transient invariant
+	// violations the steady-state-only ordering cannot see, and
+	// ViolationTime is their union duration — the paper's Fig. 1 measure
+	// of what Snowcap's guarantees miss.
+	Timeline      *monitor.Timeline
+	ViolationTime time.Duration
 }
 
 // Duration returns the reconfiguration time.
@@ -53,6 +60,26 @@ func Apply(net *sim.Network, cmds []sim.Command, order []int, latency time.Durat
 		net.Run() // free-running convergence; no transient control
 	}
 	res.End = net.Now()
+	return res, nil
+}
+
+// ApplyMonitored is Apply under the transient-state monitor: the monitor
+// observes every forwarding snapshot of the free-running convergence after
+// each command (anchored on the pre-reconfiguration state of prefix), and
+// the result carries the completed violation timeline and its union
+// duration. Snowcap's behavior is unchanged — the monitor only measures
+// the transient violations the baseline's steady-state checks miss.
+func ApplyMonitored(net *sim.Network, prefix bgp.Prefix, cmds []sim.Command, order []int, latency time.Duration, m *monitor.Monitor) (*Result, error) {
+	unbind := m.Bind(net)
+	defer unbind()
+	net.RecordInitialState(prefix)
+	res, err := Apply(net, cmds, order, latency)
+	if err != nil {
+		return nil, err
+	}
+	tl := m.Finish(net.Now())
+	res.Timeline = tl
+	res.ViolationTime = tl.TotalViolation()
 	return res, nil
 }
 

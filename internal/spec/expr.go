@@ -367,6 +367,74 @@ func (s *Spec) EvalAll(trace []fwd.State) []bool {
 	return val[s.Root.ID]
 }
 
+// EvalState evaluates the specification against a single forwarding state
+// under the final-state-persists semantics — the steady-state projection in
+// which every temporal operator collapses to its fixpoint at the last
+// position. This is what an online monitor can decide about the current
+// transient state without seeing the future: the propositional content of
+// the spec. Equivalent to Eval([]fwd.State{s}) but allocation-light, since
+// the monitor calls it on every snapshot.
+func (s *Spec) EvalState(st fwd.State) bool {
+	exprs := s.Exprs()
+	val := make([]bool, len(exprs))
+	for _, e := range exprs { // topological: children first
+		var v bool
+		switch e.Kind {
+		case KTrue:
+			v = true
+		case KFalse:
+			v = false
+		case KReach:
+			v = st.Reach(e.Node)
+		case KWp:
+			v = st.Waypoint(e.Node, e.Via)
+		case KExits:
+			v = st.Egress(e.Node) == e.Via
+		case KAnd:
+			v = val[e.A.ID] && val[e.B.ID]
+		case KOr:
+			v = val[e.A.ID] || val[e.B.ID]
+		case KNot:
+			v = !val[e.A.ID]
+		case KNext, KGlobally, KFinally:
+			v = val[e.A.ID]
+		case KUntil, KRelease:
+			v = val[e.B.ID]
+		case KWeakUntil:
+			v = val[e.A.ID] || val[e.B.ID]
+		case KStrongRelease:
+			v = val[e.A.ID] && val[e.B.ID]
+		}
+		val[e.ID] = v
+	}
+	return val[s.Root.ID]
+}
+
+// FailingAtoms returns the atomic propositions (reach/wp/exits nodes) of
+// the specification that do not hold in the given state, in DAG-ID order.
+// Monitors use this to attribute a violation to concrete routers: the
+// blast radius of a failed check is the Node fields of the failing atoms.
+func (s *Spec) FailingAtoms(st fwd.State) []*Expr {
+	var out []*Expr
+	for _, e := range s.Exprs() {
+		var v bool
+		switch e.Kind {
+		case KReach:
+			v = st.Reach(e.Node)
+		case KWp:
+			v = st.Waypoint(e.Node, e.Via)
+		case KExits:
+			v = st.Egress(e.Node) == e.Via
+		default:
+			continue
+		}
+		if !v {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // FirstViolation returns the first trace position at which the root
 // expression does not hold, or -1 if the whole trace satisfies it. Note
 // that for temporal specifications, the spec holding "at position k" means
