@@ -5,12 +5,14 @@
 package chameleon_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"chameleon/internal/analyzer"
 	"chameleon/internal/eval"
 	"chameleon/internal/milp"
+	"chameleon/internal/obs"
 	"chameleon/internal/scenario"
 	"chameleon/internal/scheduler"
 	"chameleon/internal/sitn"
@@ -51,17 +53,25 @@ func BenchmarkFig06PhaseTimeline(b *testing.B) {
 }
 
 // BenchmarkFig07SchedulingTime runs the Fig. 7 scheduling sweep over a
-// fixed corpus slice spanning an order of magnitude in Cr.
+// fixed corpus slice spanning an order of magnitude in Cr. Besides time/op
+// it reports solver effort per op (branch-and-bound nodes), which is the
+// machine-independent cost axis Fig. 7 correlates with Cr.
 func BenchmarkFig07SchedulingTime(b *testing.B) {
 	names := []string{"Basnet", "Compuserve", "Aarnet", "Agis", "Arpanet19728"}
+	rec := obs.New()
+	ctx := obs.WithRecorder(context.Background(), rec)
 	for i := 0; i < b.N; i++ {
-		outs := eval.SweepScheduling(names, 7, scheduler.DefaultOptions(), 1, nil)
+		outs, err := eval.SweepSchedulingCtx(ctx, names, 7, scheduler.DefaultOptions(), 1, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, o := range outs {
 			if o.Err != nil {
 				b.Fatalf("%s: %v", o.Name, o.Err)
 			}
 		}
 	}
+	b.ReportMetric(float64(rec.Counter(obs.CtrMILPNodes))/float64(b.N), "milp_nodes/op")
 }
 
 // BenchmarkParallelSweep measures the worker-pool speedup on the same
@@ -354,15 +364,19 @@ func BenchmarkSnowcapSynthesis(b *testing.B) {
 }
 
 // BenchmarkSimulatorConvergence measures raw event-processing throughput of
-// the BGP simulator substrate on a mid-sized network.
+// the BGP simulator substrate on a mid-sized network. sim_events/op counts
+// every simulator event (deliveries and scheduled functions), msgs only the
+// BGP deliveries.
 func BenchmarkSimulatorConvergence(b *testing.B) {
+	rec := obs.New()
 	for i := 0; i < b.N; i++ {
-		s, err := scenario.CaseStudy("Aarnet", scenario.Config{Seed: uint64(i + 1)})
+		s, err := scenario.CaseStudy("Aarnet", scenario.Config{Seed: uint64(i + 1), Recorder: rec})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(s.Net.MessagesProcessed()), "msgs")
 	}
+	b.ReportMetric(float64(rec.Counter(obs.CtrSimEvents))/float64(b.N), "sim_events/op")
 }
 
 // BenchmarkAblationConcurrency quantifies §4.2's concurrent updates: the

@@ -33,6 +33,8 @@ package chameleon
 import (
 	"context"
 	"fmt"
+	"os"
+	"sync"
 	"time"
 
 	"chameleon/internal/analyzer"
@@ -216,6 +218,23 @@ func (o PlanOptions) normalize() scheduler.Options {
 	return so
 }
 
+// deprecatedWallClockOnce gates the stderr half of the deprecation warning:
+// sweeps plan thousands of scenarios, so the human-facing line prints once
+// per process while the obs counter still counts every offending call.
+var deprecatedWallClockOnce sync.Once
+
+// warnDeprecatedWallClock records one use of the deprecated wall-clock
+// solver budgets (PlanOptions.TimeLimitPerRound / ObjectiveTimeLimit). The
+// counter increments on every use so dumps quantify how much of a run was
+// non-reproducible; the stderr pointer at SolverNodeBudget prints once.
+func warnDeprecatedWallClock(rec *Recorder) {
+	rec.Add(obs.CtrDeprecatedWallClock, 1)
+	deprecatedWallClockOnce.Do(func() {
+		fmt.Fprintln(os.Stderr, "chameleon: PlanOptions.TimeLimitPerRound/ObjectiveTimeLimit are deprecated: "+
+			"wall-clock solver budgets make schedules machine-dependent; set SolverNodeBudget instead")
+	})
+}
+
 // Reconfiguration is a fully planned reconfiguration, ready to execute.
 type Reconfiguration struct {
 	Scenario *Scenario
@@ -238,6 +257,9 @@ func Plan(s *Scenario, opts PlanOptions) (*Reconfiguration, error) {
 // "plan" span.
 func PlanCtx(ctx context.Context, s *Scenario, opts PlanOptions) (*Reconfiguration, error) {
 	ctx = obs.WithRecorder(ctx, opts.Recorder)
+	if opts.TimeLimitPerRound > 0 || opts.ObjectiveTimeLimit > 0 {
+		warnDeprecatedWallClock(obs.RecorderFrom(ctx))
+	}
 	ctx, span := obs.StartSpan(ctx, "plan", obs.String("scenario", s.Name))
 	defer span.End()
 	a, err := analyzer.AnalyzeCtx(ctx, s.Net, s.FinalNetwork(), s.Prefix)

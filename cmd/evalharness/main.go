@@ -25,7 +25,9 @@
 // -timeline FILE writes the transient-state monitor's violation timelines
 // (JSONL, validated after writing, byte-identical across re-runs and
 // worker counts) for the monitored runs (-smoke, -fig 1); -pprof ADDR
-// serves net/http/pprof for live profiling. The process exits nonzero if
+// serves net/http/pprof for live profiling; -serve ADDR serves the live
+// counter/gauge state as Prometheus text format on /metrics (plus /healthz
+// and /debug/pprof) while a long sweep is in flight. The process exits nonzero if
 // any sweep's per-scenario run errored, so partially failed sweeps cannot
 // look green in CI.
 //
@@ -80,6 +82,7 @@ var (
 	metricsFlag  = flag.String("metrics", "", "write the final counter/gauge dump to this file")
 	timelineFlag = flag.String("timeline", "", "write the transient-state monitor's violation timelines (JSONL) to this file")
 	pprofFlag    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	serveFlag    = flag.String("serve", "", "serve live /metrics (Prometheus text format), /healthz and /debug/pprof on this address while the run is in flight")
 	smokeFlag    = flag.Bool("smoke", false, "run one traced RunningExample reconfiguration and validate the span tree (CI gate)")
 )
 
@@ -226,9 +229,15 @@ func main() {
 		}()
 		fmt.Printf("(pprof listening on http://%s/debug/pprof/)\n", *pprofFlag)
 	}
-	if *traceFlag != "" || *metricsFlag != "" || *smokeFlag {
+	if *traceFlag != "" || *metricsFlag != "" || *smokeFlag || *serveFlag != "" {
 		recorder = obs.New()
 		runCtx = obs.WithRecorder(runCtx, recorder)
+	}
+	if *serveFlag != "" {
+		obs.Serve(*serveFlag, recorder, obs.PromOptions{
+			ConstLabels: map[string]string{"job": "evalharness"},
+		}, func(err error) { fmt.Fprintln(os.Stderr, "metrics server:", err) })
+		fmt.Printf("(live metrics on http://%s/metrics, pprof on /debug/pprof/)\n", *serveFlag)
 	}
 
 	ran := false

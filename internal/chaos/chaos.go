@@ -481,7 +481,9 @@ func SweepCtx(ctx context.Context, cfg SweepConfig, progress func(CaseResult)) (
 	results, err := pool.Map(ctx, cfg.Workers, len(cases), func(wctx context.Context, i int) (CaseResult, error) {
 		c := cases[i]
 		if recs != nil {
-			recs[i] = obs.New()
+			// Fork, not New: per-case recorders inherit the parent's cost
+			// attribution configuration.
+			recs[i] = parent.Fork()
 			wctx = obs.WithRecorder(wctx, recs[i])
 		}
 		r, err := RunCaseCtx(wctx, c)

@@ -268,7 +268,9 @@ func sweep[T any](ctx context.Context, workers int, names []string, progress fun
 	var mu sync.Mutex
 	out, err := pool.Map(ctx, workers, len(names), func(wctx context.Context, i int) (T, error) {
 		if recs != nil {
-			recs[i] = obs.New()
+			// Fork, not New: per-run recorders inherit the parent's cost
+			// attribution so sweeps stay profile-able end to end.
+			recs[i] = parent.Fork()
 			wctx = obs.WithRecorder(wctx, recs[i])
 		}
 		o := runOne(wctx, names[i])

@@ -3,6 +3,7 @@ package eval
 import (
 	"bytes"
 	"context"
+	"strings"
 	"testing"
 
 	"chameleon/internal/chaos"
@@ -23,7 +24,11 @@ func dumpRecorder(t *testing.T, rec *obs.Recorder) string {
 		t.Fatalf("trace ill-formed: %v", err)
 	}
 	var b bytes.Buffer
-	if err := rec.WriteJSONL(&b); err != nil {
+	// ZeroCosts normalizes the wall-clock/allocation cost fields (which
+	// legitimately vary run to run) while keeping their presence and every
+	// deterministic field in the comparison. Cost-disabled recorders dump
+	// identically with or without the option.
+	if err := rec.WriteJSONLWith(&b, obs.DumpOptions{ZeroCosts: true}); err != nil {
 		t.Fatal(err)
 	}
 	if err := rec.WriteMetrics(&b); err != nil {
@@ -52,6 +57,38 @@ func TestSweepSchedulingTraceWorkerCountInvariance(t *testing.T) {
 	for _, w := range workerCounts {
 		if got := dumpAt(w); got != want {
 			t.Errorf("workers=%d scheduling sweep trace diverged from sequential:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}
+
+// Same contract with cost attribution enabled: per-run recorders are forks
+// that inherit the cost configuration, the adopted cost fields are present
+// in every dump, and — once ZeroCosts strips the measured values — the
+// dumps remain byte-identical at any worker count.
+func TestSweepSchedulingCostTraceWorkerCountInvariance(t *testing.T) {
+	names := []string{"Abilene", "Basnet", "Epoch"}
+	dumpAt := func(workers int) string {
+		rec := obs.New()
+		rec.EnableCostAttribution()
+		ctx := obs.WithRecorder(context.Background(), rec)
+		outs, err := SweepSchedulingCtx(ctx, names, 7, scheduler.DefaultOptions(), workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("workers=%d: run %s: %v", workers, o.Name, o.Err)
+			}
+		}
+		return dumpRecorder(t, rec)
+	}
+	want := dumpAt(1)
+	if !strings.Contains(want, `"wall_ns":0`) {
+		t.Fatalf("cost-enabled sweep dump lacks (zeroed) cost fields:\n%s", want)
+	}
+	for _, w := range workerCounts {
+		if got := dumpAt(w); got != want {
+			t.Errorf("workers=%d cost-enabled sweep trace diverged from sequential:\n%s\nvs\n%s", w, got, want)
 		}
 	}
 }

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// fakeSources returns deterministic cost sources: every wall reading
+// advances 1000 ns, every memstats reading 7 mallocs / 64 bytes. Cost
+// values become a pure function of the call sequence, which is what the
+// golden tests pin.
+func fakeSources() (func() int64, func() (uint64, uint64)) {
+	var wall int64
+	var mallocs, bts uint64
+	return func() int64 {
+			wall += 1000
+			return wall
+		}, func() (uint64, uint64) {
+			mallocs += 7
+			bts += 64
+			return mallocs, bts
+		}
+}
+
+func TestCostAttributionCumulativeAndSelf(t *testing.T) {
+	r := New()
+	r.setCostSources(fakeSources())
+	root := r.StartSpan(nil, "plan") // wall=1000
+	a := r.StartSpan(root, "analyze")
+	a.End() // start 2000, end 3000 → cum 1000
+	s := r.StartSpan(root, "schedule")
+	s.Add(CtrMILPNodes, 42)
+	s.End()    // start 4000, end 5000 → cum 1000
+	root.End() // end 6000 → cum 5000
+
+	paths, cost := r.CostSummary()
+	if !cost {
+		t.Fatal("cost attribution not reported enabled")
+	}
+	byPath := map[string]PathCost{}
+	for _, p := range paths {
+		byPath[p.Path] = p
+	}
+	if got := byPath["plan"].WallNS; got != 5000 {
+		t.Errorf("plan cumulative wall = %d, want 5000", got)
+	}
+	// Self = 5000 − (1000 + 1000).
+	if got := byPath["plan"].SelfWallNS; got != 3000 {
+		t.Errorf("plan self wall = %d, want 3000", got)
+	}
+	if got := byPath["plan/analyze"].WallNS; got != 1000 {
+		t.Errorf("analyze cumulative wall = %d, want 1000", got)
+	}
+	if got := byPath["plan/schedule"].SelfWallNS; got != 1000 {
+		t.Errorf("schedule self wall = %d, want 1000", got)
+	}
+	// Six memstats reads happen (one per span boundary); the root's delta
+	// spans reads 1..6, i.e. five intervals of 7 mallocs / 64 bytes.
+	if got := byPath["plan"].Mallocs; got != 35 {
+		t.Errorf("plan mallocs = %d, want 35", got)
+	}
+	if got := byPath["plan"].AllocBytes; got != 5*64 {
+		t.Errorf("plan alloc bytes = %d, want %d", got, 5*64)
+	}
+}
+
+func TestCostFieldsInJSONLAndZeroCosts(t *testing.T) {
+	r := New()
+	r.setCostSources(fakeSources())
+	sp := r.StartSpan(nil, "work")
+	sp.End()
+
+	var raw bytes.Buffer
+	if err := r.WriteJSONL(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"wall_ns":`, `"self_wall_ns":`, `"mallocs":`, `"alloc_bytes":`} {
+		if !strings.Contains(raw.String(), field) {
+			t.Errorf("cost-enabled dump missing %s:\n%s", field, raw.String())
+		}
+	}
+
+	var zeroed bytes.Buffer
+	if err := r.WriteJSONLWith(&zeroed, DumpOptions{ZeroCosts: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(zeroed.String(), `"wall_ns":0`) {
+		t.Errorf("ZeroCosts dump should keep zeroed cost fields present:\n%s", zeroed.String())
+	}
+	if n, err := ValidateJSONL(strings.NewReader(raw.String())); err != nil || n != 1 {
+		t.Errorf("cost-enabled dump does not re-validate: n=%d err=%v", n, err)
+	}
+
+	// Without cost attribution the fields must be absent entirely.
+	plain := New()
+	sp2 := plain.StartSpan(nil, "work")
+	sp2.End()
+	var off bytes.Buffer
+	if err := plain.WriteJSONL(&off); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(off.String(), "wall_ns") {
+		t.Errorf("cost-disabled dump leaks cost fields:\n%s", off.String())
+	}
+}
+
+func TestAdoptSumsChildRootCosts(t *testing.T) {
+	child := New()
+	child.setCostSources(fakeSources())
+	a := child.StartSpan(nil, "a")
+	a.End() // cum 1000
+	b := child.StartSpan(nil, "b")
+	b.End() // cum 1000
+
+	parent := New()
+	parent.setCostSources(fakeSources())
+	parent.Adopt("run x", child)
+
+	paths, _ := parent.CostSummary()
+	var wrapper PathCost
+	for _, p := range paths {
+		if p.Path == "run x" {
+			wrapper = p
+		}
+	}
+	if wrapper.WallNS != 2000 {
+		t.Errorf("wrapper cumulative wall = %d, want 2000 (sum of child roots)", wrapper.WallNS)
+	}
+	// The wrapper does no work of its own: all cumulative time is the
+	// children's, so its self share is zero.
+	if wrapper.SelfWallNS != 0 {
+		t.Errorf("wrapper self wall = %d, want 0", wrapper.SelfWallNS)
+	}
+	if wrapper.Mallocs != 2*7 {
+		t.Errorf("wrapper mallocs = %d, want 14", wrapper.Mallocs)
+	}
+	if err := parent.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkInheritsCostConfiguration(t *testing.T) {
+	parent := New()
+	parent.EnableCostAttribution()
+	child := parent.Fork()
+	if !child.CostEnabled() {
+		t.Fatal("forked recorder lost cost attribution")
+	}
+	plain := New().Fork()
+	if plain.CostEnabled() {
+		t.Fatal("fork of a cost-disabled recorder enabled cost")
+	}
+	var nilRec *Recorder
+	if nilRec.Fork() != nil {
+		t.Fatal("nil.Fork() should be nil")
+	}
+	nilRec.EnableCostAttribution() // must not panic
+}
+
+func TestFlameSummaryTopKGolden(t *testing.T) {
+	r := New()
+	r.setCostSources(fakeSources())
+	root := r.StartSpan(nil, "plan")
+	a := r.StartSpan(root, "analyze")
+	a.End()
+	s := r.StartSpan(root, "schedule")
+	sv := r.StartSpan(s, "solve")
+	sv.Add(CtrMILPNodes, 42)
+	sv.End()
+	s.End()
+	root.End()
+
+	got := r.FlameSummary()
+	want := `flame summary: 4 spans, 4 distinct paths
+  plan                                    1×  wall     0.007ms
+    analyze                               1×  wall     0.001ms
+    schedule                              1×  wall     0.003ms
+      solve                               1×  wall     0.001ms  [milp_nodes_explored=42]
+top self-time (of 4 paths):
+   1. plan                                        1×  self     0.003ms ( 42.9%)  cum     0.007ms  allocs 49 (448 B)
+   2. plan/schedule                               1×  self     0.002ms ( 28.6%)  cum     0.003ms  allocs 21 (192 B)
+   3. plan/analyze                                1×  self     0.001ms ( 14.3%)  cum     0.001ms  allocs 7 (64 B)
+   4. plan/schedule/solve                         1×  self     0.001ms ( 14.3%)  cum     0.001ms  allocs 7 (64 B)
+`
+	if got != want {
+		t.Errorf("flame summary golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestNilRecorderCostPathsAllocFree(t *testing.T) {
+	var r *Recorder
+	r.EnableCostAttribution()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.StartSpan(nil, "solve")
+		sp.Add(CtrMILPNodes, 1)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-recorder path allocates %v per op after EnableCostAttribution", allocs)
+	}
+	ctx := context.Background()
+	allocs = testing.AllocsPerRun(1000, func() {
+		_, sp := StartSpan(ctx, "solve")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-recorder context path allocates %v per op", allocs)
+	}
+}

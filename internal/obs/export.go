@@ -12,7 +12,10 @@ import (
 
 // jsonSpan is the JSONL wire form of one span. Field order is fixed by the
 // struct; map values marshal with sorted keys — the whole line stream is a
-// deterministic function of the recorded data.
+// deterministic function of the recorded data. The cost fields are pointers
+// so their presence tracks whether the recorder had cost attribution on
+// (never whether an individual value happened to be zero): a dump's shape
+// is decided by configuration, not by measurement noise.
 type jsonSpan struct {
 	Type      string            `json:"type"` // "span"
 	ID        int               `json:"id"`
@@ -24,6 +27,45 @@ type jsonSpan struct {
 	SimStart  int64             `json:"sim_start_ns"`
 	SimEnd    int64             `json:"sim_end_ns"`
 	Counters  map[string]int64  `json:"counters,omitempty"`
+
+	// Cost attribution (EnableCostAttribution): cumulative wall time, the
+	// self (minus direct children) share, and allocation deltas.
+	WallNS     *int64 `json:"wall_ns,omitempty"`
+	SelfWallNS *int64 `json:"self_wall_ns,omitempty"`
+	Mallocs    *int64 `json:"mallocs,omitempty"`
+	AllocBytes *int64 `json:"alloc_bytes,omitempty"`
+}
+
+// DumpOptions tune WriteJSONLWith.
+type DumpOptions struct {
+	// ZeroCosts replaces every machine-measured cost field (wall time,
+	// self time, allocation deltas) with zero while keeping the fields
+	// present. Wall time and allocations are properties of the machine,
+	// not of the simulation, so byte-identical fingerprint comparisons
+	// (run-to-run, worker-count invariance) normalize them this way while
+	// still pinning the fields' presence and everything deterministic.
+	ZeroCosts bool
+}
+
+// selfWall derives each span's self wall time: its cumulative wall time
+// minus its direct children's, clamped at zero (clock granularity can make
+// children sum past their parent).
+func selfWall(spans []spanRecord) []int64 {
+	childSum := make(map[int]int64, len(spans))
+	for i := range spans {
+		if p := spans[i].Parent; p != 0 {
+			childSum[p] += spans[i].WallNS
+		}
+	}
+	self := make([]int64, len(spans))
+	for i := range spans {
+		s := spans[i].WallNS - childSum[spans[i].ID]
+		if s < 0 {
+			s = 0
+		}
+		self[i] = s
+	}
+	return self
 }
 
 type jsonMetric struct {
@@ -34,12 +76,24 @@ type jsonMetric struct {
 
 // WriteJSONL emits the trace: one JSON object per line — every span in ID
 // order, then every counter and gauge in name order. The output is
-// byte-identical for identical recordings.
+// byte-identical for identical recordings (with cost attribution enabled,
+// the wall-time and allocation fields are machine measurements; normalize
+// them with WriteJSONLWith and DumpOptions.ZeroCosts before fingerprint
+// comparisons).
 func (r *Recorder) WriteJSONL(w io.Writer) error {
+	return r.WriteJSONLWith(w, DumpOptions{})
+}
+
+// WriteJSONLWith is WriteJSONL with explicit dump options.
+func (r *Recorder) WriteJSONLWith(w io.Writer, opts DumpOptions) error {
 	if r == nil {
 		return nil
 	}
-	spans, counters, gauges := r.snapshot()
+	spans, counters, gauges, cost := r.snapshot()
+	var self []int64
+	if cost {
+		self = selfWall(spans)
+	}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i := range spans {
@@ -49,6 +103,13 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 			StartTick: sp.StartTick, EndTick: sp.EndTick,
 			SimStart: sp.SimStart, SimEnd: sp.SimEnd,
 			Counters: sp.Counters,
+		}
+		if cost {
+			wall, selfNS, mallocs, bytes := sp.WallNS, self[i], sp.Mallocs, sp.AllocBytes
+			if opts.ZeroCosts {
+				wall, selfNS, mallocs, bytes = 0, 0, 0, 0
+			}
+			js.WallNS, js.SelfWallNS, js.Mallocs, js.AllocBytes = &wall, &selfNS, &mallocs, &bytes
 		}
 		if len(sp.Attrs) > 0 {
 			js.Attrs = make(map[string]string, len(sp.Attrs))
@@ -80,7 +141,7 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	_, counters, gauges := r.snapshot()
+	_, counters, gauges, _ := r.snapshot()
 	bw := bufio.NewWriter(w)
 	for _, name := range sortedKeys(counters) {
 		fmt.Fprintf(bw, "counter %s %d\n", name, counters[name])
@@ -99,7 +160,7 @@ func (r *Recorder) Validate() error {
 	if r == nil {
 		return nil
 	}
-	spans, _, _ := r.snapshot()
+	spans, _, _, _ := r.snapshot()
 	return validateSpans(spans)
 }
 
@@ -211,31 +272,46 @@ func sortedKeysString(m map[string]string) []string {
 	return keys
 }
 
-// FlameSummary renders a human-readable aggregation of the span tree:
-// spans grouped by their name path (root/child/...), with invocation
-// counts, total simulated time (where stamped) and per-path counter
-// totals. Rows appear in first-occurrence order, indented by depth.
-func (r *Recorder) FlameSummary() string {
+// PathCost aggregates the spans sharing one name path (root/child/...):
+// invocation count, simulated time, cost attribution and counter totals.
+type PathCost struct {
+	Path  string
+	Depth int
+	Count int
+	// Sim is total simulated time across the path's spans; HasSim reports
+	// whether any span was stamped by a sim clock.
+	Sim    time.Duration
+	HasSim bool
+	// WallNS / SelfWallNS / Mallocs / AllocBytes total the cost
+	// attribution across the path's spans (zero without
+	// EnableCostAttribution).
+	WallNS     int64
+	SelfWallNS int64
+	Mallocs    int64
+	AllocBytes int64
+	Counters   map[string]int64
+}
+
+// CostSummary aggregates the span tree by name path in first-occurrence
+// order. The boolean reports whether cost attribution was enabled (the cost
+// fields are then meaningful).
+func (r *Recorder) CostSummary() ([]PathCost, bool) {
 	if r == nil {
-		return ""
+		return nil, false
 	}
-	spans, _, _ := r.snapshot()
-	type agg struct {
-		path     string
-		depth    int
-		count    int
-		sim      time.Duration
-		hasSim   bool
-		counters map[string]int64
-	}
-	byID := make(map[int]*spanRecord, len(spans))
-	for i := range spans {
-		byID[spans[i].ID] = &spans[i]
+	spans, _, _, cost := r.snapshot()
+	return aggregatePaths(spans, cost)
+}
+
+func aggregatePaths(spans []spanRecord, cost bool) ([]PathCost, bool) {
+	var self []int64
+	if cost {
+		self = selfWall(spans)
 	}
 	pathOf := make(map[int]string, len(spans))
 	depthOf := make(map[int]int, len(spans))
-	var order []string
-	groups := make(map[string]*agg)
+	idx := make(map[string]int)
+	var groups []PathCost
 	for i := range spans {
 		sp := &spans[i]
 		path, depth := sp.Name, 0
@@ -245,43 +321,111 @@ func (r *Recorder) FlameSummary() string {
 		}
 		pathOf[sp.ID] = path
 		depthOf[sp.ID] = depth
-		g := groups[path]
-		if g == nil {
-			g = &agg{path: path, depth: depth, counters: make(map[string]int64)}
-			groups[path] = g
-			order = append(order, path)
+		gi, ok := idx[path]
+		if !ok {
+			gi = len(groups)
+			idx[path] = gi
+			groups = append(groups, PathCost{Path: path, Depth: depth, Counters: make(map[string]int64)})
 		}
-		g.count++
+		g := &groups[gi]
+		g.Count++
 		if sp.SimStart != NoSim && sp.SimEnd != NoSim {
-			g.sim += time.Duration(sp.SimEnd - sp.SimStart)
-			g.hasSim = true
+			g.Sim += time.Duration(sp.SimEnd - sp.SimStart)
+			g.HasSim = true
+		}
+		if cost {
+			g.WallNS += sp.WallNS
+			g.SelfWallNS += self[i]
+			g.Mallocs += sp.Mallocs
+			g.AllocBytes += sp.AllocBytes
 		}
 		for k, v := range sp.Counters {
-			g.counters[k] += v
+			g.Counters[k] += v
 		}
 	}
+	return groups, cost
+}
+
+// TopSelf returns the k paths with the largest self wall time, descending
+// (ties broken by path so the order is deterministic). Paths with zero self
+// time are skipped.
+func TopSelf(paths []PathCost, k int) []PathCost {
+	top := make([]PathCost, 0, len(paths))
+	for _, p := range paths {
+		if p.SelfWallNS > 0 {
+			top = append(top, p)
+		}
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].SelfWallNS != top[j].SelfWallNS {
+			return top[i].SelfWallNS > top[j].SelfWallNS
+		}
+		return top[i].Path < top[j].Path
+	})
+	if k > 0 && len(top) > k {
+		top = top[:k]
+	}
+	return top
+}
+
+// flameTopK is the number of rows in FlameSummary's self-time table.
+const flameTopK = 10
+
+// FlameSummary renders a human-readable aggregation of the span tree:
+// spans grouped by their name path (root/child/...), with invocation
+// counts, total simulated time (where stamped) and per-path counter
+// totals. Rows appear in first-occurrence order, indented by depth. With
+// cost attribution enabled, each row additionally shows cumulative wall
+// time, and a top-k table of the hottest paths by self wall time (with
+// allocation totals) follows the tree.
+func (r *Recorder) FlameSummary() string {
+	if r == nil {
+		return ""
+	}
+	spans, _, _, cost := r.snapshot()
+	groups, _ := aggregatePaths(spans, cost)
 	var b strings.Builder
-	fmt.Fprintf(&b, "flame summary: %d spans, %d distinct paths\n", len(spans), len(order))
-	for _, path := range order {
-		g := groups[path]
-		name := path
-		if i := strings.LastIndex(path, "/"); i >= 0 {
-			name = path[i+1:]
+	fmt.Fprintf(&b, "flame summary: %d spans, %d distinct paths\n", len(spans), len(groups))
+	var totalSelf int64
+	for i := range groups {
+		totalSelf += groups[i].SelfWallNS
+	}
+	for i := range groups {
+		g := &groups[i]
+		name := g.Path
+		if i := strings.LastIndex(g.Path, "/"); i >= 0 {
+			name = g.Path[i+1:]
 		}
-		fmt.Fprintf(&b, "%s%-*s %4d×", strings.Repeat("  ", g.depth+1),
-			36-2*g.depth, name, g.count)
-		if g.hasSim {
-			fmt.Fprintf(&b, "  sim %8.1fs", g.sim.Seconds())
+		fmt.Fprintf(&b, "%s%-*s %4d×", strings.Repeat("  ", g.Depth+1),
+			36-2*g.Depth, name, g.Count)
+		if g.HasSim {
+			fmt.Fprintf(&b, "  sim %8.1fs", g.Sim.Seconds())
 		}
-		if len(g.counters) > 0 {
-			keys := sortedKeys(g.counters)
+		if cost {
+			fmt.Fprintf(&b, "  wall %9.3fms", float64(g.WallNS)/1e6)
+		}
+		if len(g.Counters) > 0 {
+			keys := sortedKeys(g.Counters)
 			parts := make([]string, 0, len(keys))
 			for _, k := range keys {
-				parts = append(parts, fmt.Sprintf("%s=%d", k, g.counters[k]))
+				parts = append(parts, fmt.Sprintf("%s=%d", k, g.Counters[k]))
 			}
 			fmt.Fprintf(&b, "  [%s]", strings.Join(parts, " "))
 		}
 		b.WriteByte('\n')
+	}
+	if cost {
+		top := TopSelf(groups, flameTopK)
+		fmt.Fprintf(&b, "top self-time (of %d paths):\n", len(groups))
+		for rank, g := range top {
+			pct := 0.0
+			if totalSelf > 0 {
+				pct = 100 * float64(g.SelfWallNS) / float64(totalSelf)
+			}
+			fmt.Fprintf(&b, "  %2d. %-40s %4d×  self %9.3fms (%5.1f%%)  cum %9.3fms  allocs %d (%d B)\n",
+				rank+1, g.Path, g.Count, float64(g.SelfWallNS)/1e6, pct,
+				float64(g.WallNS)/1e6, g.Mallocs, g.AllocBytes)
+		}
 	}
 	return b.String()
 }

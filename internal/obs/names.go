@@ -13,7 +13,10 @@ const (
 	CtrSchedSolvesOK     = "sched_solves_feasible"
 	CtrSchedSolvesInfeas = "sched_solves_infeasible"
 
-	// BGP substrate (sim).
+	// BGP substrate (sim). CtrSimEvents counts every processed simulator
+	// event (message deliveries and scheduled functions alike) — the
+	// denominator of event-throughput benchmarks.
+	CtrSimEvents         = "sim_events_processed"
 	CtrBGPUpdates        = "bgp_messages_update"
 	CtrBGPWithdraws      = "bgp_messages_withdraw"
 	CtrCommandsScheduled = "sim_commands_scheduled"
@@ -37,6 +40,11 @@ const (
 	// Chaos harness.
 	CtrChaosCases      = "chaos_cases"
 	CtrChaosViolations = "chaos_violations"
+
+	// Facade. Incremented each time a caller hands the facade one of the
+	// deprecated wall-clock solver budgets (PlanOptions.TimeLimitPerRound /
+	// ObjectiveTimeLimit) instead of SolverNodeBudget.
+	CtrDeprecatedWallClock = "deprecated_wallclock_budget_uses"
 
 	// Transient-state monitor. Violation time is recorded in integer
 	// nanoseconds of simulated time (counters are int64; the unit is part

@@ -15,6 +15,7 @@ package obs
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -50,6 +51,24 @@ type spanRecord struct {
 	SimStart  int64  // nanoseconds of simulated time, NoSim without a clock
 	SimEnd    int64
 	Counters  map[string]int64
+
+	// Cost attribution (only populated when the recorder has cost
+	// attribution enabled). WallNS is the span's cumulative wall time;
+	// Mallocs and AllocBytes are runtime.MemStats deltas across the span.
+	// All three are stored as deltas, never absolute snapshots, so Adopt
+	// can copy them verbatim between recorders with different time bases.
+	// The self (non-child) share is derived at export time.
+	WallNS     int64
+	Mallocs    int64
+	AllocBytes int64
+
+	// Scratch start snapshots, meaningful only while the span is open.
+	wallStart    int64
+	mallocsStart uint64
+	bytesStart   uint64
+	// costDone marks spans whose cost fields were assigned wholesale
+	// (Adopt wrapper spans); End must not overwrite them.
+	costDone bool
 }
 
 // Span is a handle on an open (or ended) span. The zero of *Span (nil) is a
@@ -71,6 +90,14 @@ type Recorder struct {
 	spans    []spanRecord
 	counters map[string]int64
 	gauges   map[string]int64
+
+	// Cost attribution (EnableCostAttribution). wallNow and memNow are the
+	// measurement sources — injectable so the cost pipeline is testable
+	// with deterministic values; production uses the monotonic wall clock
+	// and runtime.ReadMemStats.
+	cost    bool
+	wallNow func() int64
+	memNow  func() (mallocs, bytes uint64)
 }
 
 // New returns an empty Recorder with no clock: spans are stamped with
@@ -80,6 +107,83 @@ func New() *Recorder {
 		counters: make(map[string]int64),
 		gauges:   make(map[string]int64),
 	}
+}
+
+// wallBase anchors the default wall-time source: costs are durations, so
+// only differences matter, and a process-wide base keeps the values small.
+var wallBase = time.Now()
+
+// defaultWallNow reads the process-monotonic wall clock in nanoseconds.
+func defaultWallNow() int64 { return int64(time.Since(wallBase)) }
+
+// defaultMemNow snapshots cumulative allocation counters. ReadMemStats
+// briefly stops the world, which is why cost attribution is opt-in and why
+// the per-span price is documented in DESIGN.md §11.
+func defaultMemNow() (uint64, uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs, ms.TotalAlloc
+}
+
+// EnableCostAttribution turns on per-span cost capture: every span
+// additionally records its cumulative wall time and allocation deltas
+// (mallocs and bytes, from runtime.ReadMemStats snapshots at the span
+// boundaries). The self (minus-children) share is derived at export time.
+//
+// Wall time and allocation deltas are measurements of this machine, not of
+// the simulation: unlike ticks and sim-clock stamps they are NOT
+// deterministic, so fingerprint-style comparisons must zero them first
+// (DumpOptions.ZeroCosts). Enable before recording any spans.
+func (r *Recorder) EnableCostAttribution() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.cost = true
+	if r.wallNow == nil {
+		r.wallNow = defaultWallNow
+	}
+	if r.memNow == nil {
+		r.memNow = defaultMemNow
+	}
+	r.mu.Unlock()
+}
+
+// setCostSources installs deterministic measurement sources (tests only).
+func (r *Recorder) setCostSources(wall func() int64, mem func() (uint64, uint64)) {
+	r.mu.Lock()
+	r.cost = true
+	r.wallNow = wall
+	r.memNow = mem
+	r.mu.Unlock()
+}
+
+// CostEnabled reports whether cost attribution is on.
+func (r *Recorder) CostEnabled() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cost
+}
+
+// Fork returns a fresh empty Recorder inheriting r's cost-attribution
+// configuration. The parallel sweeps fork one recorder per run and fold the
+// forks back with Adopt; forking (rather than New) is what lets a
+// cost-enabled parent see cost fields on adopted spans. A nil receiver
+// forks to nil.
+func (r *Recorder) Fork() *Recorder {
+	if r == nil {
+		return nil
+	}
+	child := New()
+	r.mu.Lock()
+	child.cost = r.cost
+	child.wallNow = r.wallNow
+	child.memNow = r.memNow
+	r.mu.Unlock()
+	return child
 }
 
 // SetClock installs (or, with nil, removes) the simulated-time source used
@@ -115,7 +219,7 @@ func (r *Recorder) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
 	}
 	r.mu.Lock()
 	r.tick++
-	r.spans = append(r.spans, spanRecord{
+	sp := spanRecord{
 		ID:        len(r.spans) + 1,
 		Parent:    parentID,
 		Name:      name,
@@ -123,7 +227,12 @@ func (r *Recorder) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
 		StartTick: r.tick,
 		SimStart:  r.now(),
 		SimEnd:    NoSim,
-	})
+	}
+	if r.cost {
+		sp.wallStart = r.wallNow()
+		sp.mallocsStart, sp.bytesStart = r.memNow()
+	}
+	r.spans = append(r.spans, sp)
 	id := len(r.spans)
 	r.mu.Unlock()
 	return &Span{rec: r, id: id}
@@ -142,6 +251,13 @@ func (s *Span) End() {
 		r.tick++
 		rec.EndTick = r.tick
 		rec.SimEnd = r.now()
+		if r.cost && !rec.costDone {
+			rec.WallNS = r.wallNow() - rec.wallStart
+			mallocs, bytes := r.memNow()
+			rec.Mallocs = int64(mallocs - rec.mallocsStart)
+			rec.AllocBytes = int64(bytes - rec.bytesStart)
+			rec.costDone = true
+		}
 	}
 	r.mu.Unlock()
 }
@@ -312,10 +428,14 @@ func (r *Recorder) Adopt(name string, child *Recorder) {
 		r.mu.Lock()
 		idBase := wrapper.id // child ID i becomes idBase+i
 		tickBase := r.tick
+		var rootWall, rootMallocs, rootBytes int64
 		for _, sp := range spans {
 			sp.ID += idBase
 			if sp.Parent == 0 {
 				sp.Parent = wrapper.id
+				rootWall += sp.WallNS
+				rootMallocs += sp.Mallocs
+				rootBytes += sp.AllocBytes
 			} else {
 				sp.Parent += idBase
 			}
@@ -337,6 +457,16 @@ func (r *Recorder) Adopt(name string, child *Recorder) {
 		}
 		r.tick += childTicks
 		w := &r.spans[wrapper.id-1]
+		if r.cost {
+			// The wrapper's cost is the adopted run's total cost (the sum
+			// over the child's root spans) — a pure function of the child
+			// data, so merged dumps stay worker-count invariant. End must
+			// not overwrite it with the wall time of Adopt itself.
+			w.WallNS = rootWall
+			w.Mallocs = rootMallocs
+			w.AllocBytes = rootBytes
+			w.costDone = true
+		}
 		if w.Counters == nil && len(counters) > 0 {
 			w.Counters = make(map[string]int64, len(counters))
 		}
@@ -352,8 +482,10 @@ func (r *Recorder) Adopt(name string, child *Recorder) {
 	wrapper.End()
 }
 
-// snapshot copies the recorder state for export and validation.
-func (r *Recorder) snapshot() ([]spanRecord, map[string]int64, map[string]int64) {
+// snapshot copies the recorder state for export and validation. The last
+// return reports whether cost attribution was enabled (cost fields are then
+// meaningful and exported).
+func (r *Recorder) snapshot() ([]spanRecord, map[string]int64, map[string]int64, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	spans := make([]spanRecord, len(r.spans))
@@ -366,7 +498,7 @@ func (r *Recorder) snapshot() ([]spanRecord, map[string]int64, map[string]int64)
 	for k, v := range r.gauges {
 		gauges[k] = v
 	}
-	return spans, counters, gauges
+	return spans, counters, gauges, r.cost
 }
 
 // sortedKeys returns m's keys sorted.

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns a stdlib-only HTTP handler exposing a live view of the
+// recorder for long-running sweeps and benchmark runs:
+//
+//   - /metrics  — the recorder's counters and gauges in Prometheus text
+//     exposition format (WritePrometheus with opts)
+//   - /healthz  — liveness probe, always "ok"
+//   - /debug/pprof/... — net/http/pprof (CPU, heap, goroutine, trace, ...)
+//
+// The recorder may keep recording while being served: /metrics snapshots
+// under the recorder's lock. A nil recorder serves empty metrics (the
+// probe and profiler still work), so callers can mount the handler
+// unconditionally.
+func Handler(rec *Recorder, opts PromOptions) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		rec.WritePrometheus(w, opts)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an http.Server for Handler(rec, opts) on addr in a new
+// goroutine and returns it (callers Close it on shutdown, or let process
+// exit tear it down). Errors after startup are reported through errf when
+// non-nil.
+func Serve(addr string, rec *Recorder, opts PromOptions, errf func(error)) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: Handler(rec, opts)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {
+			errf(err)
+		}
+	}()
+	return srv
+}

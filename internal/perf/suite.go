@@ -1,0 +1,145 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+
+	"chameleon"
+	"chameleon/internal/analyzer"
+	"chameleon/internal/chaos"
+	"chameleon/internal/eval"
+	"chameleon/internal/obs"
+	"chameleon/internal/scenario"
+	"chameleon/internal/scheduler"
+	"chameleon/internal/sim"
+)
+
+// SuiteVersion stamps the BENCH JSON. Bump it whenever the benchmark set
+// or any workload's definition changes, so -compare refuses to diff
+// incomparable trajectories.
+const SuiteVersion = 1
+
+// suiteSeed pins every workload to the evaluation's canonical seed; the
+// suite measures fixed scenarios, not seed distributions.
+const suiteSeed = 7
+
+// DefaultSuite returns the curated macro-benchmark suite. Each entry is an
+// end-to-end workload from the paper's pipeline, sized to finish a
+// repetition in well under a second on a laptop:
+//
+//   - analyzer/abilene       — happens-before extraction on the Abilene case study
+//   - schedule/abilene       — ILP scheduling under the deterministic node budget
+//   - sim-convergence/aarnet — raw simulator convergence of the Aarnet scenario
+//   - plan-execute/…         — the full facade Plan+Execute on three case studies
+//   - chaos/smoke            — one fault-injected execution with recovery
+//
+// All workloads are seeded and deterministic, so their domain counters
+// (solver nodes, sim events, BGP messages) repeat exactly; only wall time
+// and allocation figures vary between runs.
+func DefaultSuite() []Benchmark {
+	return []Benchmark{
+		{Name: "analyzer/abilene", Setup: analyzerBench("Abilene")},
+		{Name: "schedule/abilene", Setup: scheduleBench("Abilene")},
+		{Name: "sim-convergence/aarnet", Setup: convergenceBench("Aarnet")},
+		{Name: "plan-execute/abilene", Setup: planExecuteBench("Abilene")},
+		{Name: "plan-execute/compuserve", Setup: planExecuteBench("Compuserve")},
+		{Name: "plan-execute/eenet", Setup: planExecuteBench("EEnet")},
+		{Name: "chaos/smoke", Setup: chaosBench("Abilene")},
+	}
+}
+
+// analyzerBench measures analyzer.AnalyzeCtx on a prebuilt scenario (the
+// analysis is pure, so the converged networks are shared across reps).
+func analyzerBench(topo string) func() (Fn, error) {
+	return func() (Fn, error) {
+		s, err := scenario.CaseStudy(topo, scenario.Config{Seed: suiteSeed})
+		if err != nil {
+			return nil, err
+		}
+		final := s.FinalNetwork()
+		return func(ctx context.Context) error {
+			_, err := analyzer.AnalyzeCtx(ctx, s.Net, final, s.Prefix)
+			return err
+		}, nil
+	}
+}
+
+// scheduleBench measures scheduler.ScheduleCtx on a prebuilt analysis with
+// the deterministic node budget, so solver effort per op is exact.
+func scheduleBench(topo string) func() (Fn, error) {
+	return func() (Fn, error) {
+		s, err := scenario.CaseStudy(topo, scenario.Config{Seed: suiteSeed})
+		if err != nil {
+			return nil, err
+		}
+		a, err := analyzer.Analyze(s.Net, s.FinalNetwork(), s.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		sp := eval.ReachabilitySpec(s.Graph)
+		opts := scheduler.DefaultOptions()
+		opts.SolverNodeBudget = scheduler.DeterministicNodeBudget
+		return func(ctx context.Context) error {
+			_, err := scheduler.ScheduleCtx(ctx, a, sp, opts)
+			return err
+		}, nil
+	}
+}
+
+// convergenceBench measures scenario construction + initial BGP
+// convergence; the context's recorder is attached to the network, so sim
+// event and message counters attribute to the op.
+func convergenceBench(topo string) func() (Fn, error) {
+	return func() (Fn, error) {
+		return func(ctx context.Context) error {
+			_, err := scenario.CaseStudy(topo, scenario.Config{
+				Seed:     suiteSeed,
+				Recorder: obs.RecorderFrom(ctx),
+			})
+			return err
+		}, nil
+	}
+}
+
+// planExecuteBench measures the whole facade pipeline — scenario build,
+// analyze, schedule, compile, execute, verify — which is what a user of
+// the library pays end to end. The scenario is rebuilt every iteration
+// because execution mutates its network.
+func planExecuteBench(topo string) func() (Fn, error) {
+	return func() (Fn, error) {
+		return func(ctx context.Context) error {
+			s, err := scenario.CaseStudy(topo, scenario.Config{Seed: suiteSeed})
+			if err != nil {
+				return err
+			}
+			rec, err := chameleon.PlanCtx(ctx, s, chameleon.PlanOptions{})
+			if err != nil {
+				return err
+			}
+			res, err := rec.ExecuteCtx(ctx, chameleon.ExecOptions{})
+			if err != nil {
+				return err
+			}
+			return rec.Verify(res)
+		}, nil
+	}
+}
+
+// chaosBench measures one fault-injected case (message drops) including
+// the recovery ladder, via the chaos harness's single-case entry point.
+func chaosBench(topo string) func() (Fn, error) {
+	return func() (Fn, error) {
+		return func(ctx context.Context) error {
+			r, err := chaos.RunCaseCtx(ctx, chaos.Case{
+				Topology: topo, Fault: sim.FaultDrop, Seed: 1,
+			})
+			if err != nil {
+				return err
+			}
+			if r.Outcome == chaos.OutcomeViolation {
+				return fmt.Errorf("chaos case violated invariants")
+			}
+			return nil
+		}, nil
+	}
+}

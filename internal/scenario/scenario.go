@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 
 	"chameleon/internal/bgp"
+	"chameleon/internal/obs"
 	"chameleon/internal/sim"
 	"chameleon/internal/topology"
 )
@@ -117,6 +118,11 @@ type Config struct {
 	// instead of an ingress deny route-map (§7). Both force all routers
 	// off e1; the session variant also tears state down.
 	RemoveSession bool
+	// Recorder, when non-nil, is attached to the scenario network before
+	// initial convergence, so substrate counters (sim events, BGP
+	// messages, sessions) cover scenario construction too. A nil recorder
+	// keeps construction unobserved, as before.
+	Recorder *obs.Recorder
 }
 
 // CaseStudy builds the evaluation scenario of §6/§7 on the named corpus
@@ -171,6 +177,7 @@ func CaseStudyOn(g *topology.Graph, cfg Config) (*Scenario, error) {
 	}
 
 	net := sim.New(g, sim.DefaultOptions(cfg.Seed))
+	net.SetRecorder(cfg.Recorder)
 	isRR := make(map[topology.NodeID]bool)
 	for _, rr := range rrs {
 		isRR[rr] = true

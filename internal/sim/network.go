@@ -359,6 +359,7 @@ func (n *Network) Step() bool {
 	}
 	e := heap.Pop(&n.queue).(*event)
 	n.now = e.at
+	n.count(obs.CtrSimEvents, 1)
 	if e.fn != nil {
 		e.fn(n)
 	} else if e.msg != nil {
