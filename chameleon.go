@@ -48,6 +48,7 @@ import (
 	"chameleon/internal/scheduler"
 	"chameleon/internal/sim"
 	"chameleon/internal/spec"
+	"chameleon/internal/supervisor"
 	"chameleon/internal/topology"
 )
 
@@ -92,6 +93,22 @@ type (
 	// Timeline is a completed monitor output: violation intervals with
 	// onset, duration, blast radius and phase attribution.
 	Timeline = monitor.Timeline
+	// SuperviseOptions configure closed-loop supervision (see Supervise).
+	SuperviseOptions = supervisor.Options
+	// SuperviseResult reports a finished supervised reconfiguration: the
+	// terminal configuration (final or initial — never pinned in between),
+	// how far down the degradation ladder the run went, and the per-attempt
+	// monitor timelines.
+	SuperviseResult = supervisor.Result
+	// SuperviseOutcome is the supervisor's terminal-configuration verdict.
+	SuperviseOutcome = supervisor.Outcome
+)
+
+// Supervisor outcome values: a supervised reconfiguration always terminates
+// in exactly one of these configurations.
+const (
+	OutcomeFinal   = supervisor.OutcomeFinal
+	OutcomeInitial = supervisor.OutcomeInitial
 )
 
 // NewMonitor returns a transient-state monitor over cfg. Hand it to
@@ -307,6 +324,13 @@ type ExecOptions struct {
 	// remains the fallback). On success the monitor is finished and its
 	// Timeline is complete.
 	Monitor *Monitor
+	// ReleaseOnError, when set, releases the plan's transient state (the
+	// temporary sessions and route-map overrides of already-started rounds)
+	// if ExecuteCtx fails or is cancelled, instead of leaving the network
+	// in whatever intermediate state the error found it in. The release is
+	// the runtime executor's Abort: pending commands are cancelled, cleanup
+	// commands applied, and the network run to convergence.
+	ReleaseOnError bool
 }
 
 // normalize translates the facade options into runtime options, applying
@@ -337,26 +361,67 @@ func (r *Reconfiguration) Execute(opts ExecOptions) (*ExecResult, error) {
 }
 
 // ExecuteCtx executes with a context: cancelling ctx stops the controller
-// between supervision steps mid-round and returns ctx's error, leaving the
-// network in whatever transient state the already-applied commands put it
-// in (callers wanting a clean release can follow up with the runtime
-// executor's Abort). A recorder in opts or ctx traces the execution.
+// between supervision steps mid-round and returns ctx's error. By default
+// a failed or cancelled execution leaves the network in whatever transient
+// state the already-applied commands put it in; set
+// ExecOptions.ReleaseOnError to release that state automatically instead.
+// A recorder in opts or ctx traces the execution.
 func (r *Reconfiguration) ExecuteCtx(ctx context.Context, opts ExecOptions) (*ExecResult, error) {
 	ctx = obs.WithRecorder(ctx, opts.Recorder)
 	ex := runtime.NewExecutor(r.Scenario.Net, opts.normalize(r.Scenario.Seed))
+	var unbind func()
 	if m := opts.Monitor; m != nil {
-		unbind := m.Bind(r.Scenario.Net)
-		defer unbind()
-		res, err := ex.ExecuteCtx(ctx, r.Plan)
-		if err != nil {
-			// Leave the monitor open: the caller may observe the abort or
-			// finish it at a time of their choosing.
-			return res, err
-		}
-		m.Finish(r.Scenario.Net.Now())
-		return res, nil
+		unbind = m.Bind(r.Scenario.Net)
 	}
-	return ex.ExecuteCtx(ctx, r.Plan)
+	res, err := ex.ExecuteCtx(ctx, r.Plan)
+	if unbind != nil {
+		// Unbind before any release below: teardown churn is outside the
+		// §3 guarantee and must not enter the timeline.
+		unbind()
+	}
+	if err != nil {
+		if opts.ReleaseOnError {
+			ex.Abort(r.Plan)
+		}
+		// Leave the monitor open: the caller may observe the abort or
+		// finish it at a time of their choosing.
+		return res, err
+	}
+	if opts.Monitor != nil {
+		opts.Monitor.Finish(r.Scenario.Net.Now())
+	}
+	return res, nil
+}
+
+// Supervise runs the scenario's reconfiguration under the closed-loop
+// supervisor: plan → execute, and on a harmful event or a persistent fault
+// abort, snapshot the intermediate state, replan from it under a bounded
+// deterministic solver budget and resume — degrading through a fast-commit
+// of the remaining commands down to a rollback when replanning cannot make
+// progress. The result's Outcome is always the final or the initial
+// configuration; the network is never left pinned mid-reconfiguration.
+// With opts.JournalPath set, every recovery boundary is persisted to a
+// crash-safe execution journal first (see ResumeSupervised). It is
+// SuperviseCtx with a background context.
+func Supervise(s *Scenario, opts SuperviseOptions) (*SuperviseResult, error) {
+	return supervisor.Run(s, opts)
+}
+
+// SuperviseCtx is Supervise with a context: cancellation propagates into
+// the replanning solver and the executor's supervision loop.
+func SuperviseCtx(ctx context.Context, s *Scenario, opts SuperviseOptions) (*SuperviseResult, error) {
+	return supervisor.RunCtx(ctx, s, opts)
+}
+
+// ResumeSupervised restarts a supervised reconfiguration from the journal
+// at opts.JournalPath after a crash: s must be a freshly built instance of
+// the same scenario, onto which the journal's last snapshot is restored
+// before supervision continues from the recorded recovery boundary — to
+// the same outcome, with byte-identical monitor timelines, as the
+// uninterrupted run. A journal that already records an outcome returns the
+// completed result without touching the network.
+func ResumeSupervised(ctx context.Context, s *Scenario, opts SuperviseOptions) (*SuperviseResult, error) {
+	return supervisor.Resume(ctx, s, opts)
 }
 
 // Verify evaluates the specification over the forwarding trace recorded

@@ -16,6 +16,9 @@
 //	evalharness -table 1        # Table 1 (compilation rule classes)
 //	evalharness -table 2        # Table 2 (named topologies)
 //	evalharness -chaos          # fault-injection sweep (topologies × fault kinds)
+//	evalharness -supervise      # supervised chaos-recovery sweep (persistent faults
+//	                            # + mid-reconfiguration events under the closed-loop
+//	                            # supervisor; -journal DIR keeps the execution journals)
 //	evalharness -all            # everything
 //	evalharness -smoke          # one traced RunningExample run + span-tree validation
 //
@@ -77,6 +80,8 @@ var (
 	topoFlag     = flag.String("topo", "", "override topology for Figs. 8/13 (default: largest within cap)")
 	outFlag      = flag.String("out", "", "directory to write CSV artifacts into (optional)")
 	chaosFlag    = flag.Bool("chaos", false, "run the fault-injection sweep (topologies × fault kinds)")
+	superviseF   = flag.Bool("supervise", false, "run the supervised chaos-recovery sweep (every run must end in the final or initial configuration)")
+	journalFlag  = flag.String("journal", "", "directory for per-case supervisor execution journals (with -supervise)")
 	workersFlag  = flag.Int("workers", goruntime.NumCPU(), "parallel scenario runs for the corpus and chaos sweeps (1 = sequential)")
 	traceFlag    = flag.String("trace", "", "write a structured span trace (JSONL) of the instrumented runs to this file")
 	metricsFlag  = flag.String("metrics", "", "write the final counter/gauge dump to this file")
@@ -295,6 +300,9 @@ func main() {
 	}
 	if *allFlag || *chaosFlag {
 		run("Chaos sweep", chaosSweep)
+	}
+	if *allFlag || *superviseF {
+		run("Recovery sweep", recoverySweep)
 	}
 	if !ran {
 		flag.Usage()
@@ -677,6 +685,54 @@ func chaosSweep() error {
 	if violations > 0 {
 		return fmt.Errorf("%d silent invariant violations", violations)
 	}
+	return nil
+}
+
+// recoverySweep runs the supervised chaos-recovery matrix: persistent
+// command faults and harmful mid-reconfiguration events under the
+// closed-loop supervisor. Acceptance is absolute: every run must terminate
+// in the final or the initial configuration, verified by readback, with
+// zero silent invariant violations — any other result fails the process.
+func recoverySweep() error {
+	cfg := chaos.DefaultRecoverySweep()
+	cfg.Seeds = []uint64{*seedFlag}
+	cfg.Workers = *workersFlag
+	if *journalFlag != "" {
+		if err := os.MkdirAll(*journalFlag, 0o755); err != nil {
+			return err
+		}
+		cfg.JournalDir = *journalFlag
+	}
+	fmt.Printf("recovery sweep: %d topologies × %d profiles, seed %d, %d workers\n",
+		len(cfg.Topologies), len(cfg.Profiles), *seedFlag, *workersFlag)
+	results, err := chaos.RecoverySweep(runCtx, cfg, func(r chaos.RecoveryResult) {
+		verdict := "recovered"
+		if !r.Recovered {
+			verdict = "NOT RECOVERED"
+		}
+		fmt.Printf("  %-16s %-22s → %-7s attempts=%d replans=%d commit=%v rollback=%v forced=%v viol=%v  %s\n",
+			r.Topology, r.Profile, r.Outcome, r.Attempts, r.Replans,
+			r.Committed, r.RolledBack, r.Forced, r.ViolationTime, verdict)
+	})
+	if err != nil {
+		return err
+	}
+	if *journalFlag != "" {
+		fmt.Printf("(wrote %d execution journals to %s)\n", len(results), *journalFlag)
+	}
+	bad := 0
+	for _, r := range results {
+		if !r.Recovered {
+			bad++
+			fmt.Fprintf(os.Stderr, "NOT RECOVERED: %s/%s/seed=%d outcome=%s verified=%v silent=%v\n",
+				r.Topology, r.Profile, r.Seed, r.Outcome, r.Verified, r.SilentViolations)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d supervised run(s) did not recover to a final-or-initial configuration", bad)
+	}
+	fmt.Printf("\nall %d supervised runs terminated in the final or initial configuration, zero silent violations\n",
+		len(results))
 	return nil
 }
 

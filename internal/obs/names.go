@@ -41,6 +41,14 @@ const (
 	CtrChaosCases      = "chaos_cases"
 	CtrChaosViolations = "chaos_violations"
 
+	// Closed-loop supervisor. CtrSupJournalBytes counts bytes appended to
+	// the execution journal (the WAL the supervisor replays after a crash);
+	// the others count recovery decisions per degradation-ladder rung.
+	CtrSupReplans      = "sup_replans"
+	CtrSupCommits      = "sup_commits"
+	CtrSupRollbacks    = "sup_rollbacks"
+	CtrSupJournalBytes = "sup_journal_bytes"
+
 	// Facade. Incremented each time a caller hands the facade one of the
 	// deprecated wall-clock solver budgets (PlanOptions.TimeLimitPerRound /
 	// ObjectiveTimeLimit) instead of SolverNodeBudget.

@@ -21,6 +21,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"chameleon/internal/bgp"
 	"chameleon/internal/obs"
 	"chameleon/internal/plan"
 	"chameleon/internal/sim"
@@ -60,6 +61,11 @@ type Options struct {
 	// Reaction selects how the controller responds to a Monitor alarm or
 	// an exhausted escalation ladder.
 	Reaction ReactionPolicy
+	// Diagnose, when set, is consulted when a Monitor alarm escalates under
+	// ReactReplan: it names the firing invariant (e.g. the transient-state
+	// monitor's first open violation) so the resulting ReplanError is
+	// attributable. An empty return means "unknown".
+	Diagnose func(*sim.Network) string
 	// Convergence, when set, gates phase completion on observed forwarding
 	// convergence: a phase whose commands are all confirmed and whose
 	// post-conditions hold still keeps processing events until the gate
@@ -103,6 +109,46 @@ const (
 // ReactReplan; the caller should Abort the current plan and replan from the
 // network's current state.
 var ErrReplanNeeded = errors.New("runtime: external event detected; replan required")
+
+// ReplanError is the structured form of ErrReplanNeeded: it records what
+// fired (the invariant named by Options.Diagnose, if any), where (the plan's
+// prefix) and when (simulated time), so supervisor decisions and chaos
+// classifications are attributable to a concrete detection instead of a bare
+// sentinel. It wraps ErrReplanNeeded — errors.Is(err, ErrReplanNeeded)
+// matches — plus the underlying escalation error, when one exists (Cause is
+// nil for pure monitor alarms).
+type ReplanError struct {
+	// Invariant is the name of the firing invariant, "" when unknown.
+	Invariant string
+	// Prefix is the prefix under reconfiguration.
+	Prefix bgp.Prefix
+	// SimTime is the simulated time of the detection.
+	SimTime time.Duration
+	// Cause is the escalation-ladder error that forced the replan, nil when
+	// the trigger was a Monitor alarm.
+	Cause error
+}
+
+func (e *ReplanError) Error() string {
+	inv := e.Invariant
+	if inv == "" {
+		inv = "unknown invariant"
+	}
+	msg := fmt.Sprintf("runtime: replan required (%s, prefix %d, t=%v)", inv, int(e.Prefix), e.SimTime)
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+// Unwrap makes the error match both ErrReplanNeeded and its cause under
+// errors.Is / errors.As.
+func (e *ReplanError) Unwrap() []error {
+	if e.Cause == nil {
+		return []error{ErrReplanNeeded}
+	}
+	return []error{ErrReplanNeeded, e.Cause}
+}
 
 // errCommit is the internal unwinding signal for ReactCommit.
 var errCommit = errors.New("runtime: committing to the final configuration")
@@ -196,6 +242,15 @@ type Executor struct {
 	// betweenDone tracks which original-command slots have been applied,
 	// so a ReactCommit cut-over applies exactly the pending ones.
 	betweenDone []bool
+
+	// curPrefix is the executing plan's prefix, stamped into ReplanErrors.
+	curPrefix bgp.Prefix
+
+	// aborted remembers the last plan released by Abort, making Abort
+	// idempotent: callers (the facade's ReleaseOnError, the supervisor, and
+	// manual callers following the ReactReplan docstring) may each Abort
+	// without re-running cleanup commands on an already-released network.
+	aborted *plan.Plan
 
 	// ctx is the current execution's context (cancellation is polled in
 	// every supervision loop); execSpan/phaseSpan are the current trace
@@ -379,6 +434,8 @@ func (e *Executor) ExecuteCtx(ctx context.Context, p *plan.Plan) (*Result, error
 	}
 	defer func() { e.ctx = nil }()
 	e.beginRun()
+	e.curPrefix = p.Prefix
+	e.aborted = nil
 	res := &Result{Start: e.net.Now()}
 	e.rec = RecoveryStats{}
 	e.net.RecordInitialState(p.Prefix)
@@ -636,14 +693,31 @@ func (e *Executor) commit(p *plan.Plan, res *Result) {
 // converge — the prelude to replanning under ReactReplan. Every in-flight
 // scheduled command (including retries and fault-layer duplicates) is
 // cancelled first and the queue drained, so no stale configuration can
-// land after the cleanup: aborting is deterministic.
+// land after the cleanup: aborting is deterministic. Abort is idempotent:
+// aborting the same plan twice (facade auto-release plus a manual call, or
+// a supervisor retrying its recovery path) re-runs nothing.
 func (e *Executor) Abort(p *plan.Plan) {
+	if p != nil && e.aborted == p {
+		return
+	}
 	e.net.CancelPendingCommands()
 	e.net.Run()
 	for _, st := range p.Cleanup {
 		st.Command.Apply(e.net)
 	}
 	e.net.Run()
+	e.aborted = p
+}
+
+// OriginalsApplied reports, per Between slot of the most recent execution,
+// whether that slot's original commands were confirmed applied. A
+// supervisor resuming from a failed execution uses it (with the plan's
+// OriginalSlots) to compute which original commands are already in the
+// network and must not be replayed.
+func (e *Executor) OriginalsApplied() []bool {
+	out := make([]bool, len(e.betweenDone))
+	copy(out, e.betweenDone)
+	return out
 }
 
 // stepState tracks one plan step through push, acknowledgment and
@@ -831,7 +905,11 @@ func (e *Executor) react(fallbackErr error) error {
 	case ReactCommit:
 		return errCommit
 	case ReactReplan:
-		return ErrReplanNeeded
+		re := &ReplanError{Prefix: e.curPrefix, SimTime: e.net.Now(), Cause: fallbackErr}
+		if fallbackErr == nil && e.opts.Diagnose != nil {
+			re.Invariant = e.opts.Diagnose(e.net)
+		}
+		return re
 	}
 	return fallbackErr
 }

@@ -40,6 +40,13 @@ type Scenario struct {
 	// Commands is the original reconfiguration (§5 "original commands").
 	Commands []sim.Command
 
+	// Undo is index-aligned with Commands: Undo[i] reverts Commands[i].
+	// A supervisor rolling back to the initial configuration applies the
+	// undos of every possibly-applied original in reverse order; undo
+	// commands are idempotent, so undoing a command that never applied is
+	// safe.
+	Undo []sim.Command
+
 	Seed uint64
 }
 
@@ -86,16 +93,36 @@ func RunningExample() *Scenario {
 	net.InjectExternalRoute(ext6, sim.Announcement{Prefix: prefix, ASPathLen: 2})
 	net.Run()
 
+	setLP := func(lp uint32) func(*sim.Network) {
+		return func(net *sim.Network) {
+			net.UpdateRouteMap(n[1], ext1, sim.In, func(rm *sim.RouteMap) {
+				rm.Remove(10)
+				rm.Add(sim.Entry{Order: 10, Action: sim.Action{SetLocalPref: sim.U32P(lp)}})
+			})
+		}
+	}
+	hasLP := func(lp uint32) func(*sim.Network) bool {
+		return func(net *sim.Network) bool {
+			for _, e := range net.RouteMapOf(n[1], ext1, sim.In).Entries() {
+				if e.Order == 10 && e.Action.SetLocalPref != nil && *e.Action.SetLocalPref == lp {
+					return true
+				}
+			}
+			return false
+		}
+	}
 	cmd := sim.Command{
 		Node:        n[1],
 		Description: "n1: set local-pref of routes from ext1 to 50",
 		DeniesOld:   false,
-		Apply: func(net *sim.Network) {
-			net.UpdateRouteMap(n[1], ext1, sim.In, func(rm *sim.RouteMap) {
-				rm.Remove(10)
-				rm.Add(sim.Entry{Order: 10, Action: sim.Action{SetLocalPref: sim.U32P(50)}})
-			})
-		},
+		Apply:       setLP(50),
+		Verify:      hasLP(50),
+	}
+	undo := sim.Command{
+		Node:        n[1],
+		Description: "n1: restore local-pref of routes from ext1 to 200",
+		Apply:       setLP(200),
+		Verify:      hasLP(200),
 	}
 	return &Scenario{
 		Name: "RunningExample", Net: net, Graph: g, Prefix: prefix,
@@ -103,6 +130,7 @@ func RunningExample() *Scenario {
 		Ext:      []topology.NodeID{ext1, ext6},
 		RRs:      []topology.NodeID{n[2], n[5]},
 		Commands: []sim.Command{cmd},
+		Undo:     []sim.Command{undo},
 		Seed:     1,
 	}
 }
@@ -211,7 +239,7 @@ func CaseStudyOn(g *topology.Graph, cfg Config) (*Scenario, error) {
 	net.InjectExternalRoute(exts[2], sim.Announcement{Prefix: prefix, ASPathLen: 2})
 	net.Run()
 
-	var cmd sim.Command
+	var cmd, undo sim.Command
 	if cfg.RemoveSession {
 		cmd = sim.Command{
 			Node:        e1,
@@ -219,6 +247,23 @@ func CaseStudyOn(g *topology.Graph, cfg Config) (*Scenario, error) {
 			DeniesOld:   true,
 			Apply: func(net *sim.Network) {
 				net.RemoveSession(e1, exts[0])
+			},
+			Verify: func(net *sim.Network) bool {
+				_, up := net.HasSession(e1, exts[0])
+				return !up
+			},
+		}
+		undo = sim.Command{
+			Node:        e1,
+			Description: fmt.Sprintf("%s: restore eBGP session to ext1", g.Node(e1).Name),
+			Apply: func(net *sim.Network) {
+				if _, up := net.HasSession(e1, exts[0]); !up {
+					net.SetSession(e1, exts[0], bgp.EBGP)
+				}
+			},
+			Verify: func(net *sim.Network) bool {
+				_, up := net.HasSession(e1, exts[0])
+				return up
 			},
 		}
 	} else {
@@ -228,8 +273,25 @@ func CaseStudyOn(g *topology.Graph, cfg Config) (*Scenario, error) {
 			DeniesOld:   true,
 			Apply: func(net *sim.Network) {
 				net.UpdateRouteMap(e1, exts[0], sim.In, func(rm *sim.RouteMap) {
-					rm.Add(sim.Entry{Order: 5, Action: sim.Action{Deny: true}})
+					if !rm.Has(5) {
+						rm.Add(sim.Entry{Order: 5, Action: sim.Action{Deny: true}})
+					}
 				})
+			},
+			Verify: func(net *sim.Network) bool {
+				return net.RouteMapOf(e1, exts[0], sim.In).Has(5)
+			},
+		}
+		undo = sim.Command{
+			Node:        e1,
+			Description: fmt.Sprintf("%s: remove route-map deny of routes from ext1", g.Node(e1).Name),
+			Apply: func(net *sim.Network) {
+				net.UpdateRouteMap(e1, exts[0], sim.In, func(rm *sim.RouteMap) {
+					rm.Remove(5)
+				})
+			},
+			Verify: func(net *sim.Network) bool {
+				return !net.RouteMapOf(e1, exts[0], sim.In).Has(5)
 			},
 		}
 	}
@@ -237,8 +299,32 @@ func CaseStudyOn(g *topology.Graph, cfg Config) (*Scenario, error) {
 	return &Scenario{
 		Name: g.Name, Net: net, Graph: g, Prefix: prefix,
 		E1: e1, E2: e2, E3: e3, Ext: exts, E4: e4, Ext4: ext4,
-		RRs: rrs, Commands: []sim.Command{cmd}, Seed: cfg.Seed,
+		RRs: rrs, Commands: []sim.Command{cmd}, Undo: []sim.Command{undo},
+		Seed: cfg.Seed,
 	}, nil
+}
+
+// Remaining derives the replan-from-intermediate-state scenario: the same
+// topology and metadata, net (a live, possibly mid-reconfiguration network)
+// as its network, and only the original commands whose slot in applied is
+// false — exactly the reconfiguration still outstanding. applied is
+// index-aligned with s.Commands; a short applied treats missing entries as
+// not applied. Undo stays index-aligned with the remaining commands.
+func (s *Scenario) Remaining(net *sim.Network, applied []bool) *Scenario {
+	d := *s
+	d.Net = net
+	d.Commands = nil
+	d.Undo = nil
+	for i, cmd := range s.Commands {
+		if i < len(applied) && applied[i] {
+			continue
+		}
+		d.Commands = append(d.Commands, cmd)
+		if i < len(s.Undo) {
+			d.Undo = append(d.Undo, s.Undo[i])
+		}
+	}
+	return &d
 }
 
 // FinalNetwork returns a converged clone of the scenario network with all

@@ -1,0 +1,190 @@
+package sim_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"chameleon/internal/scenario"
+	"chameleon/internal/sim"
+)
+
+// midReconfiguration drives sc halfway through its command list and runs the
+// network to convergence, yielding a genuinely intermediate state.
+func midReconfiguration(t *testing.T, sc *scenario.Scenario) *sim.Network {
+	t.Helper()
+	half := len(sc.Commands) / 2
+	if half == 0 {
+		half = len(sc.Commands)
+	}
+	for _, cmd := range sc.Commands[:half] {
+		cmd.Apply(sc.Net)
+	}
+	sc.Net.Run()
+	return sc.Net
+}
+
+func TestCaptureStateRequiresConvergence(t *testing.T) {
+	sc := scenario.RunningExample()
+	sc.Net.InjectExternalRoute(sc.Ext[0], sim.Announcement{Prefix: sc.Prefix})
+	if sc.Net.Converged() {
+		t.Fatal("expected pending events after injection")
+	}
+	if _, err := sc.Net.CaptureState(); err == nil {
+		t.Fatal("CaptureState on a non-converged network should fail")
+	}
+	sc.Net.Run()
+	if _, err := sc.Net.CaptureState(); err != nil {
+		t.Fatalf("CaptureState after Run: %v", err)
+	}
+}
+
+func TestCaptureStateDeterministic(t *testing.T) {
+	capture := func() []byte {
+		sc := scenario.RunningExample()
+		net := midReconfiguration(t, sc)
+		st, err := net.CaptureState()
+		if err != nil {
+			t.Fatalf("CaptureState: %v", err)
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	a, b := capture(), capture()
+	if string(a) != string(b) {
+		t.Fatalf("capture not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRestoreStateRoundTrip rebuilds a fresh scenario, restores a snapshot
+// taken mid-reconfiguration onto it, and checks that configuration readback,
+// forwarding state, and future evolution all match the original network.
+func TestRestoreStateRoundTrip(t *testing.T) {
+	orig := scenario.RunningExample()
+	net := midReconfiguration(t, orig)
+	st, err := net.CaptureState()
+	if err != nil {
+		t.Fatalf("CaptureState: %v", err)
+	}
+
+	// Serialize through JSON, as the journal does.
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded sim.NetState
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	fresh := scenario.RunningExample()
+	fresh.Net.Run()
+	if err := fresh.Net.RestoreState(&decoded); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+
+	if got, want := fresh.Net.ForwardingState(orig.Prefix), net.ForwardingState(orig.Prefix); !reflect.DeepEqual(got, want) {
+		t.Fatalf("forwarding state mismatch after restore:\n got %v\nwant %v", got, want)
+	}
+	if got, want := fresh.Net.Now(), net.Now(); got != want {
+		t.Fatalf("clock mismatch after restore: got %v want %v", got, want)
+	}
+
+	// Re-capturing the restored network must reproduce the snapshot exactly.
+	st2, err := fresh.Net.CaptureState()
+	if err != nil {
+		t.Fatalf("re-capture: %v", err)
+	}
+	b2, err := json.Marshal(st2)
+	if err != nil {
+		t.Fatalf("marshal re-capture: %v", err)
+	}
+	if string(b) != string(b2) {
+		t.Fatalf("re-captured snapshot differs:\n%s\nvs\n%s", b, b2)
+	}
+
+	// Future evolution must match: apply the remaining commands to both and
+	// compare the resulting routing state.
+	half := len(orig.Commands) / 2
+	rest := orig.Commands[half:]
+	for _, cmd := range rest {
+		cmd.Apply(net)
+	}
+	net.Run()
+	for _, cmd := range rest {
+		cmd.Apply(fresh.Net)
+	}
+	fresh.Net.Run()
+	if got, want := fresh.Net.ForwardingState(orig.Prefix), net.ForwardingState(orig.Prefix); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-restore evolution diverged:\n got %v\nwant %v", got, want)
+	}
+	gotRoutes, gotHave := fresh.Net.RoutingState(orig.Prefix)
+	wantRoutes, wantHave := net.RoutingState(orig.Prefix)
+	if !reflect.DeepEqual(gotRoutes, wantRoutes) || !reflect.DeepEqual(gotHave, wantHave) {
+		t.Fatalf("routing state diverged:\n got %v %v\nwant %v %v", gotRoutes, gotHave, wantRoutes, wantHave)
+	}
+}
+
+func TestRestoreStateRejectsMismatchedTopology(t *testing.T) {
+	sc := scenario.RunningExample()
+	sc.Net.Run()
+	st, err := sc.Net.CaptureState()
+	if err != nil {
+		t.Fatalf("CaptureState: %v", err)
+	}
+	other, err := scenario.CaseStudy("Abilene", scenario.Config{Seed: 7})
+	if err != nil {
+		t.Fatalf("CaseStudy: %v", err)
+	}
+	other.Net.Run()
+	if other.Net.Graph().NumNodes() == sc.Net.Graph().NumNodes() {
+		t.Skip("case study unexpectedly has same node count")
+	}
+	if err := other.Net.RestoreState(st); err == nil {
+		t.Fatal("RestoreState onto a different topology should fail")
+	}
+}
+
+func TestRouteMapEntriesAccessor(t *testing.T) {
+	var rm *sim.RouteMap
+	if got := rm.Entries(); got != nil {
+		t.Fatalf("nil route map Entries = %v, want nil", got)
+	}
+	rm = &sim.RouteMap{}
+	rm.Add(sim.Entry{Order: 20, Action: sim.Action{Deny: true}})
+	rm.Add(sim.Entry{Order: 10})
+	es := rm.Entries()
+	if len(es) != 2 || es[0].Order != 10 || es[1].Order != 20 {
+		t.Fatalf("Entries = %+v, want sorted orders [10 20]", es)
+	}
+	// Mutating the copy must not affect the map.
+	es[0].Order = 99
+	if rm.Entries()[0].Order != 10 {
+		t.Fatal("Entries returned a view into internal state")
+	}
+}
+
+func TestRestoreStateClearsPendingWork(t *testing.T) {
+	sc := scenario.RunningExample()
+	sc.Net.Run()
+	st, err := sc.Net.CaptureState()
+	if err != nil {
+		t.Fatalf("CaptureState: %v", err)
+	}
+	target := scenario.RunningExample()
+	target.Net.Run()
+	// Leave a cancelled command token behind; restore must reset that
+	// bookkeeping so PendingCommands starts clean.
+	tk := target.Net.ScheduleCommand(0, sim.Command{Node: target.E1, Description: "noop", Apply: func(*sim.Network) {}}, 0)
+	tk.Cancel()
+	target.Net.Run()
+	if err := target.Net.RestoreState(st); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if got := target.Net.PendingCommands(); got != 0 {
+		t.Fatalf("PendingCommands after restore = %d, want 0", got)
+	}
+}
