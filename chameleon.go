@@ -43,6 +43,7 @@ import (
 	"chameleon/internal/monitor"
 	"chameleon/internal/obs"
 	"chameleon/internal/plan"
+	"chameleon/internal/pool"
 	"chameleon/internal/runtime"
 	"chameleon/internal/scenario"
 	"chameleon/internal/scheduler"
@@ -73,6 +74,13 @@ type (
 	NodeSchedule = scheduler.NodeSchedule
 	// ReconfigurationPlan is the compiled plan.
 	ReconfigurationPlan = plan.Plan
+	// MultiPlan is an aligned multi-destination plan: one compiled plan
+	// per prefix, sharing the original commands (§5).
+	MultiPlan = plan.MultiPlan
+	// EquivalenceClass is one §3 prefix equivalence class: prefixes whose
+	// initial and final routing states are identical up to the prefix
+	// value, planned once via their representative.
+	EquivalenceClass = analyzer.Class
 	// ExecResult reports an executed reconfiguration.
 	ExecResult = runtime.Result
 	// Analysis is the analyzer's happens-before description.
@@ -156,6 +164,15 @@ func NewCaseStudy(topo string, seed uint64) (*Scenario, error) {
 	return scenario.CaseStudy(topo, scenario.Config{Seed: seed})
 }
 
+// NewCaseStudyMulti is NewCaseStudy with extra destinations: beyond the
+// base prefix, extraPrefixes additional prefixes are announced in cycling
+// patterns so the scenario partitions into several §3 equivalence classes
+// (guaranteed multi-class at extraPrefixes ≥ 3). Planning then decomposes
+// by class — see PlanOptions.ClassParallelism.
+func NewCaseStudyMulti(topo string, seed uint64, extraPrefixes int) (*Scenario, error) {
+	return scenario.CaseStudy(topo, scenario.Config{Seed: seed, ExtraPrefixes: extraPrefixes})
+}
+
 // RunningExample builds the Fig. 3 six-router example.
 func RunningExample() *Scenario { return scenario.RunningExample() }
 
@@ -198,6 +215,14 @@ type PlanOptions struct {
 	// DisableLoopConstraints drops the explicit Eq. 3 constraints
 	// (App. D ablation).
 	DisableLoopConstraints bool
+	// ClassParallelism caps how many prefix equivalence classes are
+	// planned concurrently: planning partitions the scenario's prefixes
+	// into §3 classes and runs each class's analyzer → scheduler →
+	// compiler pipeline as an independent job on a bounded worker pool.
+	// 0 (the default) means one worker per CPU; 1 plans classes
+	// sequentially. The output is byte-identical at every parallelism
+	// level — workers change wall-clock time, never the plan.
+	ClassParallelism int
 	// Recorder, when non-nil, traces planning: an analyze span, a
 	// schedule span with one solve child per attempted round count, and
 	// solver-effort counters (nodes, propagations, LP pivots).
@@ -217,21 +242,19 @@ func (o PlanOptions) normalize() scheduler.Options {
 	if o.MaxRounds > 0 {
 		so.MaxRounds = o.MaxRounds
 	}
-	if o.TimeLimitPerRound > 0 {
-		so.TimeLimitPerRound = o.TimeLimitPerRound
-	}
-	if o.ObjectiveTimeLimit > 0 {
-		so.ObjectiveTimeLimit = o.ObjectiveTimeLimit
-	}
 	so.ExplicitLoopConstraints = !o.DisableLoopConstraints
 	switch {
 	case o.SolverNodeBudget > 0:
 		so.SolverNodeBudget = o.SolverNodeBudget
-	case o.TimeLimitPerRound == 0 && o.ObjectiveTimeLimit == 0:
-		// Nobody asked for wall-clock budgets: default to the
-		// deterministic node budget so planning reproduces bit-for-bit.
-		so.SolverNodeBudget = scheduler.DeterministicNodeBudget
+	case o.TimeLimitPerRound > 0 || o.ObjectiveTimeLimit > 0:
+		// Explicit (deprecated) wall-clock budgets: hand them through and
+		// clear the default node budget so the scheduler honors them.
+		so.SolverNodeBudget = 0
+		so.TimeLimitPerRound = o.TimeLimitPerRound
+		so.ObjectiveTimeLimit = o.ObjectiveTimeLimit
 	}
+	// Otherwise DefaultOptions' deterministic node budget stands, so
+	// planning reproduces bit-for-bit.
 	return so
 }
 
@@ -253,12 +276,37 @@ func warnDeprecatedWallClock(rec *Recorder) {
 }
 
 // Reconfiguration is a fully planned reconfiguration, ready to execute.
+// Analysis, Schedule and Plan describe the class of Scenario.Prefix (the
+// first equivalence class); Classes holds every class and Multi the
+// aligned multi-destination plan when the scenario spans several prefixes.
 type Reconfiguration struct {
 	Scenario *Scenario
 	Analysis *Analysis
 	Spec     *Spec
 	Schedule *NodeSchedule
 	Plan     *ReconfigurationPlan
+
+	// Classes is the per-equivalence-class planning output, in partition
+	// order; single-destination scenarios have exactly one entry.
+	Classes []PlannedClass
+	// Multi is the aligned plan covering every prefix of the scenario;
+	// nil when everything collapses to the single Plan above (execution
+	// then takes the single-destination path, unchanged).
+	Multi *MultiPlan
+}
+
+// PlannedClass is the planning output of one prefix equivalence class:
+// the analysis and schedule computed once on the representative, and one
+// compiled plan per member prefix reusing that shared dependency graph.
+type PlannedClass struct {
+	Class    EquivalenceClass
+	Analysis *Analysis
+	Schedule *NodeSchedule
+	// Plans is index-aligned with Class.Members.
+	Plans []*ReconfigurationPlan
+	// NodeBudget is this class's slice of the global SolverNodeBudget
+	// (member-count-proportional); 0 in wall-clock mode.
+	NodeBudget int64
 }
 
 // Plan runs Chameleon's analyzer, scheduler and compiler on a scenario.
@@ -271,7 +319,16 @@ func Plan(s *Scenario, opts PlanOptions) (*Reconfiguration, error) {
 // branch-and-bound mid-solve (the search polls the context every few
 // hundred nodes) and returns ctx's error. When opts.Recorder is set — or
 // ctx already carries a recorder — the whole pipeline is traced under a
-// "plan" span.
+// "plan" span with one "class" child per equivalence class.
+//
+// Planning is decomposed by prefix equivalence class (§3): the scenario's
+// prefixes are partitioned against the initial and final networks, each
+// class is analyzed, scheduled and compiled independently — fanned out on
+// a bounded worker pool (opts.ClassParallelism) with its member-
+// proportional slice of the global solver node budget — and the per-class
+// plans are stitched back in partition order into one aligned MultiPlan.
+// Scheduling cost therefore scales with the largest class, not the whole
+// prefix set, and the result is byte-identical at any worker count.
 func PlanCtx(ctx context.Context, s *Scenario, opts PlanOptions) (*Reconfiguration, error) {
 	ctx = obs.WithRecorder(ctx, opts.Recorder)
 	if opts.TimeLimitPerRound > 0 || opts.ObjectiveTimeLimit > 0 {
@@ -279,29 +336,125 @@ func PlanCtx(ctx context.Context, s *Scenario, opts PlanOptions) (*Reconfigurati
 	}
 	ctx, span := obs.StartSpan(ctx, "plan", obs.String("scenario", s.Name))
 	defer span.End()
-	a, err := analyzer.AnalyzeCtx(ctx, s.Net, s.FinalNetwork(), s.Prefix)
-	if err != nil {
-		return nil, fmt.Errorf("chameleon: analyze: %w", err)
-	}
 	sp := opts.Spec
 	if sp == nil {
 		sp = eval.ReachabilitySpec(s.Graph)
 	}
-	sched, err := scheduler.ScheduleCtx(ctx, a, sp, opts.normalize())
-	if err != nil {
-		return nil, fmt.Errorf("chameleon: schedule: %w", err)
+	final := s.FinalNetwork()
+	classes := analyzer.Classes(s.Net, final, s.AllPrefixes())
+	span.Add(obs.CtrPlanClasses, int64(len(classes)))
+	span.SetAttr("classes", fmt.Sprintf("%d", len(classes)))
+	so := opts.normalize()
+	weights := make([]int, len(classes))
+	for i, c := range classes {
+		weights[i] = len(c.Members)
 	}
-	if err := scheduler.Validate(a, sp, sched); err != nil {
-		return nil, fmt.Errorf("chameleon: schedule validation: %w", err)
+	budgets := scheduler.SplitNodeBudget(so.SolverNodeBudget, weights)
+
+	var planned []PlannedClass
+	var err error
+	if len(classes) == 1 {
+		// Single class: plan on the calling goroutine with the parent
+		// recorder, so spans stream as they open (callers watch NumSpans
+		// to cancel mid-solve) instead of appearing all at once on adopt.
+		co := so
+		co.SolverNodeBudget = budgets[0]
+		var pc PlannedClass
+		pc, err = planClass(ctx, s, final, classes[0], sp, co)
+		planned = []PlannedClass{pc}
+	} else {
+		parent := obs.RecorderFrom(ctx)
+		var recs []*obs.Recorder
+		if parent != nil {
+			recs = make([]*obs.Recorder, len(classes))
+		}
+		planned, err = pool.Map(ctx, pool.Workers(opts.ClassParallelism, len(classes)), len(classes),
+			func(wctx context.Context, i int) (PlannedClass, error) {
+				if recs != nil {
+					// Fork, not New: per-class recorders inherit the parent's
+					// cost attribution, and adopting them back in index order
+					// below keeps traces byte-identical at any worker count.
+					recs[i] = parent.Fork()
+					wctx = obs.WithRecorder(wctx, recs[i])
+				}
+				co := so
+				co.SolverNodeBudget = budgets[i]
+				return planClass(wctx, s, final, classes[i], sp, co)
+			})
+		for i, rec := range recs {
+			if rec != nil {
+				parent.Adopt(fmt.Sprintf("class %d", i), rec)
+			}
+		}
 	}
-	p, err := plan.Compile(a, sched, s.Commands)
 	if err != nil {
-		return nil, fmt.Errorf("chameleon: compile: %w", err)
+		return nil, err
+	}
+
+	// The single-destination view stays anchored at s.Prefix, which is
+	// always the representative of the first class.
+	r := &Reconfiguration{
+		Scenario: s, Spec: sp, Classes: planned,
+		Analysis: planned[0].Analysis,
+		Schedule: planned[0].Schedule,
+		Plan:     planned[0].Plans[0],
+	}
+	var all []*plan.Plan
+	for _, pc := range planned {
+		all = append(all, pc.Plans...)
+	}
+	if len(all) > 1 {
+		mp, err := plan.Align(all, s.Commands)
+		if err != nil {
+			return nil, fmt.Errorf("chameleon: align: %w", err)
+		}
+		r.Multi = mp
 	}
 	if opts.Monitor != nil {
 		opts.Monitor.Track(monitor.FromSpec("spec", sp))
 	}
-	return &Reconfiguration{Scenario: s, Analysis: a, Spec: sp, Schedule: sched, Plan: p}, nil
+	return r, nil
+}
+
+// planClass runs the single-destination pipeline on one equivalence class:
+// analyze and schedule the representative once, then compile one plan per
+// member by retargeting the shared analysis — class members differ only in
+// the prefix value, so the dependency graph is reused, never re-derived.
+func planClass(ctx context.Context, s *Scenario, final *sim.Network, cls analyzer.Class,
+	sp *spec.Spec, so scheduler.Options) (PlannedClass, error) {
+	// Small classes can analyze and schedule in fewer solver nodes than the
+	// branch-and-bound's sparse context poll, so check once up front: a
+	// cancelled plan must never hand back a completed class.
+	if cerr := ctx.Err(); cerr != nil {
+		return PlannedClass{}, cerr
+	}
+	ctx, span := obs.StartSpan(ctx, "class",
+		obs.Int("members", int64(len(cls.Members))),
+		obs.String("fingerprint", fmt.Sprintf("%016x", cls.Fingerprint)))
+	defer span.End()
+	out := PlannedClass{Class: cls, NodeBudget: so.SolverNodeBudget}
+	a, err := analyzer.AnalyzeCtx(ctx, s.Net, final, cls.Representative)
+	if err != nil {
+		return out, fmt.Errorf("chameleon: analyze: %w", err)
+	}
+	sched, err := scheduler.ScheduleCtx(ctx, a, sp, so)
+	if err != nil {
+		return out, fmt.Errorf("chameleon: schedule: %w", err)
+	}
+	if err := scheduler.Validate(a, sp, sched); err != nil {
+		return out, fmt.Errorf("chameleon: schedule validation: %w", err)
+	}
+	span.Add(obs.CtrClassSolverNodes, sched.Stats.SolverNodes)
+	out.Analysis = a
+	out.Schedule = sched
+	for _, p := range cls.Members {
+		pl, err := plan.Compile(a.ForPrefix(p), sched, s.Commands)
+		if err != nil {
+			return out, fmt.Errorf("chameleon: compile: %w", err)
+		}
+		out.Plans = append(out.Plans, pl)
+	}
+	return out, nil
 }
 
 // ExecOptions tune plan execution.
@@ -373,7 +526,13 @@ func (r *Reconfiguration) ExecuteCtx(ctx context.Context, opts ExecOptions) (*Ex
 	if m := opts.Monitor; m != nil {
 		unbind = m.Bind(r.Scenario.Net)
 	}
-	res, err := ex.ExecuteCtx(ctx, r.Plan)
+	var res *ExecResult
+	var err error
+	if r.Multi != nil {
+		res, err = ex.ExecuteMultiCtx(ctx, r.Multi)
+	} else {
+		res, err = ex.ExecuteCtx(ctx, r.Plan)
+	}
 	if unbind != nil {
 		// Unbind before any release below: teardown churn is outside the
 		// §3 guarantee and must not enter the timeline.
@@ -381,7 +540,13 @@ func (r *Reconfiguration) ExecuteCtx(ctx context.Context, opts ExecOptions) (*Ex
 	}
 	if err != nil {
 		if opts.ReleaseOnError {
-			ex.Abort(r.Plan)
+			if r.Multi != nil {
+				for _, p := range r.Multi.Plans {
+					ex.Abort(p)
+				}
+			} else {
+				ex.Abort(r.Plan)
+			}
 		}
 		// Leave the monitor open: the caller may observe the abort or
 		// finish it at a time of their choosing.
@@ -424,27 +589,34 @@ func ResumeSupervised(ctx context.Context, s *Scenario, opts SuperviseOptions) (
 	return supervisor.Resume(ctx, s, opts)
 }
 
-// Verify evaluates the specification over the forwarding trace recorded
-// since res.Start, returning nil if every transient state satisfied it.
+// Verify evaluates the specification over the forwarding traces recorded
+// since res.Start — one per destination prefix — returning nil if every
+// transient state of every destination satisfied it.
 func (r *Reconfiguration) Verify(res *ExecResult) error {
-	tr := r.Scenario.Net.Trace(r.Scenario.Prefix)
-	if tr == nil || len(tr.States) == 0 {
-		return fmt.Errorf("chameleon: no forwarding trace recorded")
-	}
-	tr.Compact()
-	start := res.Start.Seconds()
-	var window []int
-	for i, ts := range tr.Times {
-		if ts >= start-1e-9 {
-			window = append(window, i)
+	for _, prefix := range r.Scenario.AllPrefixes() {
+		if r.Multi == nil && prefix != r.Scenario.Prefix {
+			// A single-destination execution records only Prefix's trace.
+			continue
 		}
-	}
-	if len(window) == 0 {
-		return nil
-	}
-	sub := tr.States[window[0] : window[len(window)-1]+1]
-	if !r.Spec.Eval(sub) {
-		return fmt.Errorf("chameleon: specification %q violated during execution", r.Spec)
+		tr := r.Scenario.Net.Trace(prefix)
+		if tr == nil || len(tr.States) == 0 {
+			return fmt.Errorf("chameleon: no forwarding trace recorded for prefix %d", prefix)
+		}
+		tr.Compact()
+		start := res.Start.Seconds()
+		var window []int
+		for i, ts := range tr.Times {
+			if ts >= start-1e-9 {
+				window = append(window, i)
+			}
+		}
+		if len(window) == 0 {
+			continue
+		}
+		sub := tr.States[window[0] : window[len(window)-1]+1]
+		if !r.Spec.Eval(sub) {
+			return fmt.Errorf("chameleon: specification %q violated during execution of prefix %d", r.Spec, prefix)
+		}
 	}
 	return nil
 }

@@ -330,40 +330,3 @@ func CheckConsistent(net *sim.Network, prefix bgp.Prefix) error {
 	}
 	return nil
 }
-
-// EquivalenceClasses groups prefixes whose initial and final routing states
-// are identical up to the prefix value — the paper's prefix equivalence
-// classes (§3): Chameleon schedules one representative per class.
-func EquivalenceClasses(initial, final *sim.Network, prefixes []bgp.Prefix) [][]bgp.Prefix {
-	keyOf := func(p bgp.Prefix) string {
-		key := ""
-		for _, net := range []*sim.Network{initial, final} {
-			routes, have := net.RoutingState(p)
-			for _, n := range net.Graph().Internal() {
-				if !have[n] {
-					key += "|-"
-					continue
-				}
-				r := routes[n]
-				key += fmt.Sprintf("|%d:%d:%v:%d:%d:%d", r.Egress, r.External, r.Path,
-					r.LocalPref, r.ASPathLen, r.MED)
-			}
-			key += "##"
-		}
-		return key
-	}
-	groups := make(map[string][]bgp.Prefix)
-	var order []string
-	for _, p := range prefixes {
-		k := keyOf(p)
-		if _, ok := groups[k]; !ok {
-			order = append(order, k)
-		}
-		groups[k] = append(groups[k], p)
-	}
-	out := make([][]bgp.Prefix, 0, len(order))
-	for _, k := range order {
-		out = append(out, groups[k])
-	}
-	return out
-}

@@ -514,3 +514,130 @@ func TestSolutionStatsPopulated(t *testing.T) {
 		t.Errorf("counts: vars=%d cons=%d", m.NumVars(), m.NumConstraints())
 	}
 }
+
+// pigeonholeGated builds a model with a gate boolean g: g = 1 activates an
+// infeasible pigeonhole subproblem (more pigeons than holes), g = 0 leaves
+// every placement variable free. Branching g high first therefore burns the
+// whole node budget refuting the pigeonhole, while branching it low first
+// finds a solution almost immediately — exactly the shape restarts exist
+// for.
+func pigeonholeGated(pigeons, holes int) (*Model, Options) {
+	m := NewModel()
+	g := m.NewBool("g")
+	p := make([][]VarID, pigeons)
+	order := []VarID{g}
+	for i := range p {
+		p[i] = make([]VarID, holes)
+		for j := range p[i] {
+			p[i][j] = m.NewBool("p")
+			order = append(order, p[i][j])
+		}
+	}
+	for i := 0; i < pigeons; i++ {
+		m.AddImpliesGe(g, Sum(p[i]...), 1) // g = 1: every pigeon needs a hole
+	}
+	for j := 0; j < holes; j++ {
+		col := make([]VarID, pigeons)
+		for i := range col {
+			col[i] = p[i][j]
+		}
+		m.AddLe(Sum(col...), 1) // each hole fits at most one pigeon
+	}
+	return m, Options{BranchOrder: order, PreferHigh: []VarID{g}}
+}
+
+func TestRestartBudgetAccounting(t *testing.T) {
+	const base = 512
+	// Sanity: a single attempt limited to the first restart budget must
+	// fail — the gate branches high into the pigeonhole subtree and the
+	// budget runs out long before the subtree is refuted.
+	m, opts := pigeonholeGated(8, 7)
+	once := opts
+	once.NoRestarts = true
+	once.MaxNodes = base
+	if _, err := m.Solve(once); err == nil {
+		t.Fatal("first-attempt budget unexpectedly sufficient; grow the pigeonhole")
+	}
+	// Under restarts the first attempt exhausts its base budget and a later
+	// attempt (value preference flipped) solves quickly. The solution's
+	// stats must charge the failed attempt's nodes too: the old accounting
+	// reported only the final attempt, undercounting total solver effort
+	// below base+1.
+	m, opts = pigeonholeGated(8, 7)
+	opts.RestartBaseNodes = base
+	s, err := m.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg := m.Check(s.Values); msg != "" {
+		t.Fatalf("solution violates model: %s", msg)
+	}
+	if s.Stats.Nodes <= base {
+		t.Fatalf("Stats.Nodes = %d, want > %d: failed restart attempts must be charged at their actual node count", s.Stats.Nodes, base)
+	}
+	if s.Stats.Nodes > 3*base {
+		t.Fatalf("Stats.Nodes = %d, want ≤ %d: charge actual nodes, not granted budgets", s.Stats.Nodes, 3*base)
+	}
+	// A NodeLimit covering the failed attempt plus a generous remainder
+	// must still admit the solve: with grant-based charging the second
+	// attempt would be starved of budget it never consumed.
+	m, opts = pigeonholeGated(8, 7)
+	opts.RestartBaseNodes = base
+	opts.NodeLimit = 3 * base
+	if _, err := m.Solve(opts); err != nil {
+		t.Fatalf("Solve under NodeLimit=%d: %v", 3*base, err)
+	}
+}
+
+func TestRestartDeterminism(t *testing.T) {
+	// Identical models must produce identical restart sequences (the RNG is
+	// seeded from the model fingerprint) and hence identical solutions and
+	// effort counts.
+	run := func() *Solution {
+		m, opts := pigeonholeGated(8, 7)
+		opts.RestartBaseNodes = 512
+		s, err := m.Solve(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := run(), run()
+	if a.Stats.Nodes != b.Stats.Nodes || a.Stats.Propagations != b.Stats.Propagations {
+		t.Fatalf("effort differs across identical solves: %+v vs %+v", a.Stats, b.Stats)
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("value %d differs: %d vs %d", i, a.Values[i], b.Values[i])
+		}
+	}
+}
+
+func TestFingerprintDistinguishesModels(t *testing.T) {
+	build := func(coeff, rhs, hi int64) *Model {
+		m := NewModel()
+		x := m.NewInt("x", 0, hi)
+		y := m.NewInt("y", 0, hi)
+		m.AddLe(Lin().Add(x, coeff).Add(y, 1), rhs)
+		return m
+	}
+	base := build(2, 7, 10)
+	if got := build(2, 7, 10).Fingerprint(); got != base.Fingerprint() {
+		t.Fatalf("identical models disagree: %#x vs %#x", got, base.Fingerprint())
+	}
+	// All of these share the base model's variable and constraint counts —
+	// the old constraint-count seed could not tell them apart.
+	variants := map[string]*Model{
+		"coefficient": build(3, 7, 10),
+		"rhs":         build(2, 8, 10),
+		"bounds":      build(2, 7, 11),
+	}
+	for name, m := range variants {
+		if m.NumConstraints() != base.NumConstraints() {
+			t.Fatalf("%s variant changed the constraint count; fix the test", name)
+		}
+		if m.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s-differing model shares the base fingerprint", name)
+		}
+	}
+}

@@ -364,6 +364,51 @@ func (m *Model) Check(values []int64) string {
 	return ""
 }
 
+// Fingerprint returns a structural FNV-1a hash of the model: variable
+// count and bounds, every normalized constraint row (variables,
+// coefficients, right-hand side) and the objective. Identical models hash
+// identically, so anything seeded from the fingerprint (the restart RNG)
+// stays deterministic; models differing in structure — not just name
+// strings — almost surely hash apart even when their constraint counts
+// coincide.
+func (m *Model) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(m.lo)))
+	for i := range m.lo {
+		mix(uint64(m.lo[i]))
+		mix(uint64(m.hi[i]))
+	}
+	mix(uint64(len(m.cons)))
+	for _, c := range m.cons {
+		mix(uint64(len(c.terms)))
+		for _, t := range c.terms {
+			mix(uint64(t.Var))
+			mix(uint64(t.Coeff))
+		}
+		mix(uint64(c.rhs))
+	}
+	if m.hasObj {
+		mix(uint64(len(m.obj.Terms)) + 1)
+		for _, t := range m.obj.Terms {
+			mix(uint64(t.Var))
+			mix(uint64(t.Coeff))
+		}
+		mix(uint64(m.obj.Const))
+	}
+	return h
+}
+
 // objRange returns the min/max of the objective under declared bounds.
 func (m *Model) objRange() (int64, int64) {
 	if !m.hasObj {

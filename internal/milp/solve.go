@@ -130,7 +130,8 @@ func (m *Model) Solve(opts Options) (*Solution, error) {
 	if !opts.NoRestarts && opts.MaxNodes == 0 {
 		return m.solveWithRestarts(opts)
 	}
-	return m.solveOnce(opts)
+	sol, _, err := m.solveOnce(opts)
+	return sol, err
 }
 
 func (m *Model) solveWithRestarts(opts Options) (*Solution, error) {
@@ -143,21 +144,25 @@ func (m *Model) solveWithRestarts(opts Options) (*Solution, error) {
 		deadline = time.Now().Add(opts.TimeLimit)
 	}
 	order := append([]VarID(nil), opts.BranchOrder...)
-	rng := rand.New(rand.NewPCG(0x9e3779b97f4a7c15, uint64(len(m.cons))))
-	var handedOut int64 // node budget granted so far, against NodeLimit
+	// Seed the restart RNG from a structural fingerprint of the model, not
+	// just the constraint count: two different models with equal len(cons)
+	// must not share branch-order shuffles, while identical models keep
+	// identical (deterministic) restart sequences.
+	rng := rand.New(rand.NewPCG(0x9e3779b97f4a7c15, m.Fingerprint()))
+	var spent int64 // nodes actually explored so far, against NodeLimit
+	var agg Stats   // effort aggregated across attempts
 	for attempt := 0; ; attempt++ {
 		inner := opts
 		inner.NoRestarts = true
 		inner.MaxNodes = budget
 		if opts.NodeLimit > 0 {
-			remaining := opts.NodeLimit - handedOut
+			remaining := opts.NodeLimit - spent
 			if remaining <= 0 {
 				return nil, ErrTimeout
 			}
 			if inner.MaxNodes > remaining {
 				inner.MaxNodes = remaining
 			}
-			handedOut += inner.MaxNodes
 		}
 		if opts.TimeLimit > 0 {
 			remaining := time.Until(deadline)
@@ -179,8 +184,24 @@ func (m *Model) solveWithRestarts(opts Options) (*Solution, error) {
 				inner.PreferHigh = nil
 			}
 		}
-		sol, err := m.solveOnce(inner)
+		sol, st, err := m.solveOnce(inner)
+		// Charge the nodes the attempt actually explored, not the budget it
+		// was granted: an attempt that returns early must not exhaust the
+		// NodeLimit on paper while the search barely ran.
+		spent += st.Nodes
+		agg.Nodes += st.Nodes
+		agg.Propagations += st.Propagations
+		agg.LPBounds += st.LPBounds
+		agg.LPPivots += st.LPPivots
+		agg.Duration += st.Duration
 		if err == nil || errors.Is(err, ErrInfeasible) || isCtxErr(err) {
+			if sol != nil {
+				// Report total effort across all restart attempts, not just
+				// the final one's.
+				optimal := sol.Stats.Optimal
+				sol.Stats = agg
+				sol.Stats.Optimal = optimal
+			}
 			return sol, err
 		}
 		if opts.TimeLimit > 0 && time.Now().After(deadline) {
@@ -190,7 +211,10 @@ func (m *Model) solveWithRestarts(opts Options) (*Solution, error) {
 	}
 }
 
-func (m *Model) solveOnce(opts Options) (*Solution, error) {
+// solveOnce runs a single branch-and-bound attempt. It returns the effort
+// stats even on error so the restart loop can charge NodeLimit with the
+// nodes actually explored.
+func (m *Model) solveOnce(opts Options) (*Solution, Stats, error) {
 	if opts.MaxNodes == 0 && opts.NodeLimit > 0 {
 		opts.MaxNodes = opts.NodeLimit
 	}
@@ -229,7 +253,7 @@ func (m *Model) solveOnce(opts Options) (*Solution, error) {
 	// Constant infeasible rows (posted by addLe with empty terms).
 	for _, c := range m.cons {
 		if len(c.terms) == 0 && c.rhs < 0 {
-			return nil, ErrInfeasible
+			return nil, s.stats, ErrInfeasible
 		}
 	}
 	// Root propagation.
@@ -237,23 +261,24 @@ func (m *Model) solveOnce(opts Options) (*Solution, error) {
 		s.enqueue(int32(i))
 	}
 	if !s.propagate() {
-		return nil, ErrInfeasible
+		s.stats.Duration = time.Since(s.start)
+		return nil, s.stats, ErrInfeasible
 	}
 	err := s.search(0)
 	s.stats.Duration = time.Since(s.start)
 	if s.ctxErr != nil {
-		return nil, s.ctxErr
+		return nil, s.stats, s.ctxErr
 	}
 	if s.haveInc {
 		// Without an objective any feasible assignment is final; with one,
 		// optimality holds only if the search ran to exhaustion.
 		s.stats.Optimal = err == nil || !m.hasObj
-		return &Solution{Values: s.incumbent, Objective: s.incumbentObj, Stats: s.stats}, nil
+		return &Solution{Values: s.incumbent, Objective: s.incumbentObj, Stats: s.stats}, s.stats, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, s.stats, err
 	}
-	return nil, ErrInfeasible
+	return nil, s.stats, ErrInfeasible
 }
 
 // SolveIterative minimizes the objective by repeated feasibility solves

@@ -54,6 +54,14 @@ const (
 	// ObjectiveTimeLimit) instead of SolverNodeBudget.
 	CtrDeprecatedWallClock = "deprecated_wallclock_budget_uses"
 
+	// Class-decomposed planning. CtrPlanClasses counts the prefix
+	// equivalence classes a plan was decomposed into (one increment of n
+	// per Plan call); CtrClassSolverNodes counts branch-and-bound nodes
+	// attributed to per-class scheduling, recorded on each class span so
+	// dumps show how the global budget was actually spent.
+	CtrPlanClasses      = "plan_classes"
+	CtrClassSolverNodes = "class_solver_nodes"
+
 	// Transient-state monitor. Violation time is recorded in integer
 	// nanoseconds of simulated time (counters are int64; the unit is part
 	// of the name so dumps stay self-describing).

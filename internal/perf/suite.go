@@ -9,14 +9,16 @@ import (
 	"chameleon/internal/chaos"
 	"chameleon/internal/eval"
 	"chameleon/internal/obs"
+	"chameleon/internal/plan"
 	"chameleon/internal/scenario"
 	"chameleon/internal/scheduler"
 	"chameleon/internal/sim"
 )
 
-// SuiteVersion stamps the BENCH JSON. Bump it whenever the benchmark set
-// or any workload's definition changes, so -compare refuses to diff
-// incomparable trajectories.
+// SuiteVersion stamps the BENCH JSON. Bump it whenever an existing
+// workload's definition changes, so -compare refuses to diff incomparable
+// trajectories; adding new benchmarks needs no bump — Compare reports
+// additions as OnlyNew instead of diffing them.
 const SuiteVersion = 1
 
 // suiteSeed pins every workload to the evaluation's canonical seed; the
@@ -29,6 +31,10 @@ const suiteSeed = 7
 //
 //   - analyzer/abilene       — happens-before extraction on the Abilene case study
 //   - schedule/abilene       — ILP scheduling under the deterministic node budget
+//   - schedule/classes       — class-decomposed facade planning of a
+//     multi-prefix Abilene scenario (one schedule per equivalence class)
+//   - schedule/classes-mono  — the monolithic baseline: every prefix of the
+//     same scenario analyzed, scheduled and compiled independently
 //   - sim-convergence/aarnet — raw simulator convergence of the Aarnet scenario
 //   - plan-execute/…         — the full facade Plan+Execute on three case studies
 //   - chaos/smoke            — one fault-injected execution with recovery
@@ -40,11 +46,76 @@ func DefaultSuite() []Benchmark {
 	return []Benchmark{
 		{Name: "analyzer/abilene", Setup: analyzerBench("Abilene")},
 		{Name: "schedule/abilene", Setup: scheduleBench("Abilene")},
+		{Name: "schedule/classes", Setup: classesBench("Abilene")},
+		{Name: "schedule/classes-mono", Setup: classesMonoBench("Abilene")},
 		{Name: "sim-convergence/aarnet", Setup: convergenceBench("Aarnet")},
 		{Name: "plan-execute/abilene", Setup: planExecuteBench("Abilene")},
 		{Name: "plan-execute/compuserve", Setup: planExecuteBench("Compuserve")},
 		{Name: "plan-execute/eenet", Setup: planExecuteBench("EEnet")},
 		{Name: "chaos/smoke", Setup: chaosBench("Abilene")},
+	}
+}
+
+// classesExtraPrefixes sizes the multi-class scheduling workloads: three
+// extra prefixes partition the case study into three equivalence classes
+// (one shared with the base prefix, two singletons).
+const classesExtraPrefixes = 3
+
+// classesBench measures the class-decomposed planning pipeline on a
+// multi-prefix scenario: partition into equivalence classes, one
+// analyze → schedule per class with its budget slice, per-member
+// compilation, and the aligned MultiPlan stitch. Planning is pure, so the
+// scenario is shared across reps.
+func classesBench(topo string) func() (Fn, error) {
+	return func() (Fn, error) {
+		s, err := scenario.CaseStudy(topo, scenario.Config{
+			Seed: suiteSeed, ExtraPrefixes: classesExtraPrefixes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context) error {
+			_, err := chameleon.PlanCtx(ctx, s, chameleon.PlanOptions{})
+			return err
+		}, nil
+	}
+}
+
+// classesMonoBench is the monolithic baseline for classesBench: the same
+// multi-prefix scenario, but every prefix analyzed, scheduled (full
+// default budget) and compiled independently — no equivalence-class reuse
+// — then aligned. The gap between the two medians is what the §3 class
+// decomposition buys.
+func classesMonoBench(topo string) func() (Fn, error) {
+	return func() (Fn, error) {
+		s, err := scenario.CaseStudy(topo, scenario.Config{
+			Seed: suiteSeed, ExtraPrefixes: classesExtraPrefixes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sp := eval.ReachabilitySpec(s.Graph)
+		return func(ctx context.Context) error {
+			final := s.FinalNetwork()
+			var all []*plan.Plan
+			for _, p := range s.AllPrefixes() {
+				a, err := analyzer.AnalyzeCtx(ctx, s.Net, final, p)
+				if err != nil {
+					return err
+				}
+				sched, err := scheduler.ScheduleCtx(ctx, a, sp, scheduler.DefaultOptions())
+				if err != nil {
+					return err
+				}
+				pl, err := plan.Compile(a, sched, s.Commands)
+				if err != nil {
+					return err
+				}
+				all = append(all, pl)
+			}
+			_, err := plan.Align(all, s.Commands)
+			return err
+		}, nil
 	}
 }
 

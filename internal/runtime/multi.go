@@ -1,8 +1,10 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 
+	"chameleon/internal/obs"
 	"chameleon/internal/plan"
 	"chameleon/internal/sim"
 )
@@ -11,11 +13,42 @@ import (
 // setup phases first, then the update phases of every destination in
 // parallel — advancing each destination's rounds only up to the point the
 // next original command requires, applying that command, and continuing —
-// and finally all cleanup phases.
+// and finally all cleanup phases. It is ExecuteMultiCtx under
+// context.Background().
 func (e *Executor) ExecuteMulti(mp *plan.MultiPlan) (*Result, error) {
+	return e.ExecuteMultiCtx(context.Background(), mp)
+}
+
+// ExecuteMultiCtx is ExecuteMulti with a context: cancellation is polled in
+// every supervision loop (per simulated event), and a recorder — from
+// Options.Recorder or, failing that, the context — receives an "execute"
+// span tree stamped with the simulated clock, exactly as in ExecuteCtx.
+func (e *Executor) ExecuteMultiCtx(ctx context.Context, mp *plan.MultiPlan) (*Result, error) {
 	if !e.net.Converged() {
 		return nil, fmt.Errorf("runtime: network not converged at start")
 	}
+	e.ctx = ctx
+	e.obsRec = e.opts.Recorder
+	if e.obsRec == nil {
+		e.obsRec = obs.RecorderFrom(ctx)
+	}
+	if e.obsRec != nil {
+		// The simulated clock is the only time source a trace may carry —
+		// wall clock would break byte-identical reproducibility.
+		e.obsRec.SetClock(e.net.Now)
+		e.net.SetRecorder(e.obsRec)
+		e.execSpan = e.obsRec.StartSpan(obs.SpanFrom(ctx), "execute")
+		defer func() {
+			e.execSpan.End()
+			e.obsRec.SetClock(nil)
+			e.net.SetRecorder(nil)
+			e.net.SetObsSpan(nil)
+			e.execSpan = nil
+			e.phaseSpan = nil
+			e.obsRec = nil
+		}()
+	}
+	defer func() { e.ctx = nil }()
 	e.beginRun()
 	res := &Result{Start: e.net.Now()}
 	e.rec = RecoveryStats{}

@@ -26,6 +26,12 @@ type Scenario struct {
 	// class; §6 uses 1024 identical prefixes, which collapse to one).
 	Prefix bgp.Prefix
 
+	// Prefixes lists every destination under reconfiguration when the
+	// scenario carries more than one (Config.ExtraPrefixes); Prefix is
+	// always its first entry. Nil means the single destination Prefix.
+	// Planning partitions this list into §3 equivalence classes.
+	Prefixes []bgp.Prefix
+
 	// E1 is the initially preferred egress; E2, E3 the alternatives.
 	E1, E2, E3 topology.NodeID
 	// Ext are the external networks peering with E1..E3 (index-aligned).
@@ -146,6 +152,15 @@ type Config struct {
 	// instead of an ingress deny route-map (§7). Both force all routers
 	// off e1; the session variant also tears state down.
 	RemoveSession bool
+	// ExtraPrefixes injects that many additional destinations beyond the
+	// base prefix, cycling through three announcement patterns: one
+	// identical to the base (collapsing into its equivalence class) and
+	// two with different AS-path lengths at ext2/ext3 (forming distinct
+	// classes whose final states steer all traffic to e2 or e3
+	// respectively). Every pattern is announced by ext1 with the shortest
+	// path, so the §6 deny command makes every class reconfigure. With
+	// ExtraPrefixes ≥ 3 the scenario is guaranteed multi-class.
+	ExtraPrefixes int
 	// Recorder, when non-nil, is attached to the scenario network before
 	// initial convergence, so substrate counters (sim events, BGP
 	// messages, sessions) cover scenario construction too. A nil recorder
@@ -237,6 +252,24 @@ func CaseStudyOn(g *topology.Graph, cfg Config) (*Scenario, error) {
 	net.InjectExternalRoute(exts[0], sim.Announcement{Prefix: prefix, ASPathLen: 1})
 	net.InjectExternalRoute(exts[1], sim.Announcement{Prefix: prefix, ASPathLen: 2})
 	net.InjectExternalRoute(exts[2], sim.Announcement{Prefix: prefix, ASPathLen: 2})
+	prefixes := []bgp.Prefix{prefix}
+	for i := 1; i <= cfg.ExtraPrefixes; i++ {
+		p := bgp.Prefix(i)
+		// ext1 always announces the shortest path, so the deny command
+		// forces every destination off e1; the ext2/ext3 path lengths cycle
+		// through three patterns yielding up to three equivalence classes.
+		l2, l3 := 2, 2
+		switch i % 3 {
+		case 2:
+			l3 = 4 // final state steers everything to e2
+		case 0:
+			l2 = 4 // final state steers everything to e3
+		}
+		net.InjectExternalRoute(exts[0], sim.Announcement{Prefix: p, ASPathLen: 1})
+		net.InjectExternalRoute(exts[1], sim.Announcement{Prefix: p, ASPathLen: l2})
+		net.InjectExternalRoute(exts[2], sim.Announcement{Prefix: p, ASPathLen: l3})
+		prefixes = append(prefixes, p)
+	}
 	net.Run()
 
 	var cmd, undo sim.Command
@@ -296,12 +329,25 @@ func CaseStudyOn(g *topology.Graph, cfg Config) (*Scenario, error) {
 		}
 	}
 
-	return &Scenario{
+	s := &Scenario{
 		Name: g.Name, Net: net, Graph: g, Prefix: prefix,
 		E1: e1, E2: e2, E3: e3, Ext: exts, E4: e4, Ext4: ext4,
 		RRs: rrs, Commands: []sim.Command{cmd}, Undo: []sim.Command{undo},
 		Seed: cfg.Seed,
-	}, nil
+	}
+	if cfg.ExtraPrefixes > 0 {
+		s.Prefixes = prefixes
+	}
+	return s, nil
+}
+
+// AllPrefixes returns every destination under reconfiguration: Prefixes
+// when set, else just Prefix.
+func (s *Scenario) AllPrefixes() []bgp.Prefix {
+	if len(s.Prefixes) > 0 {
+		return s.Prefixes
+	}
+	return []bgp.Prefix{s.Prefix}
 }
 
 // Remaining derives the replan-from-intermediate-state scenario: the same

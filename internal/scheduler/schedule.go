@@ -9,7 +9,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"chameleon/internal/analyzer"
@@ -132,17 +134,70 @@ type Options struct {
 // results only where the wall-clock limits would have truncated anyway.
 const DeterministicNodeBudget = 1 << 15
 
-// DefaultOptions mirror the paper's configuration.
+// DefaultOptions mirror the paper's configuration with one deliberate
+// departure: solver budgets default to the deterministic node budget
+// rather than the paper's wall-clock limits, so the default path yields
+// the same schedule on any machine under any load. Callers that really
+// want wall-clock budgets must set them explicitly (and get a one-time
+// deprecation note).
 func DefaultOptions() Options {
 	return Options{
 		MaxRounds:               16,
-		TimeLimitPerRound:       60 * time.Second,
-		ScanTimePerRound:        2 * time.Second,
-		ObjectiveTimeLimit:      2 * time.Second,
+		SolverNodeBudget:        DeterministicNodeBudget,
 		ExplicitLoopConstraints: true,
 		MinimizeTempSessions:    true,
 		CycleLimit:              10000,
 	}
+}
+
+// wallClockOnce gates the stderr half of the wall-clock deprecation note:
+// sweeps schedule thousands of scenarios, so the human-facing line prints
+// once per process.
+var wallClockOnce sync.Once
+
+// warnWallClock notes that a schedule was computed under wall-clock solver
+// budgets and is therefore machine- and load-dependent.
+func warnWallClock() {
+	wallClockOnce.Do(func() {
+		fmt.Fprintln(os.Stderr, "scheduler: wall-clock solver budgets are deprecated: "+
+			"results depend on machine speed and load; set SolverNodeBudget instead")
+	})
+}
+
+// SplitNodeBudget divides a global deterministic solver node budget across
+// prefix equivalence classes proportionally to weights (member counts):
+// class i gets ⌊total·wᵢ/Σw⌋ nodes, the rounding remainder is handed out
+// one node at a time in index order, and no class gets less than one node.
+// The split is a pure function of (total, weights), so decomposed planning
+// stays deterministic at any parallelism. A non-positive total (wall-clock
+// mode) yields all zeros.
+func SplitNodeBudget(total int64, weights []int) []int64 {
+	out := make([]int64, len(weights))
+	if total <= 0 || len(weights) == 0 {
+		return out
+	}
+	ws := make([]int64, len(weights))
+	var sum int64
+	for i, w := range weights {
+		ws[i] = int64(w)
+		if ws[i] < 1 {
+			ws[i] = 1
+		}
+		sum += ws[i]
+	}
+	var given int64
+	for i := range ws {
+		out[i] = total * ws[i] / sum
+		if out[i] < 1 {
+			out[i] = 1
+		}
+		given += out[i]
+	}
+	for i := 0; given < total; i = (i + 1) % len(out) {
+		out[i]++
+		given++
+	}
+	return out
 }
 
 // ErrUnschedulable is returned when no schedule satisfying the
@@ -167,14 +222,25 @@ func ScheduleCtx(ctx context.Context, a *analyzer.Analysis, sp *spec.Spec, opts 
 	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 16
 	}
-	if opts.TimeLimitPerRound == 0 {
-		opts.TimeLimitPerRound = 60 * time.Second
-	}
-	if opts.ObjectiveTimeLimit == 0 {
-		opts.ObjectiveTimeLimit = 2 * time.Second
-	}
-	if opts.CycleLimit == 0 {
-		opts.CycleLimit = 10000
+	if opts.SolverNodeBudget == 0 {
+		if opts.TimeLimitPerRound == 0 && opts.ScanTimePerRound == 0 && opts.ObjectiveTimeLimit == 0 {
+			// Nothing was asked for: default to the deterministic node
+			// budget, not wall-clock limits — the default path must not
+			// produce load-dependent schedules.
+			opts.SolverNodeBudget = DeterministicNodeBudget
+		} else {
+			// Explicit wall-clock mode: fill the remaining limits in.
+			warnWallClock()
+			if opts.TimeLimitPerRound == 0 {
+				opts.TimeLimitPerRound = 60 * time.Second
+			}
+			if opts.ObjectiveTimeLimit == 0 {
+				opts.ObjectiveTimeLimit = 2 * time.Second
+			}
+			if opts.ScanTimePerRound == 0 {
+				opts.ScanTimePerRound = 2 * time.Second
+			}
+		}
 	}
 	ctx, span := obs.StartSpan(ctx, "schedule")
 	defer span.End()
@@ -222,9 +288,6 @@ func ScheduleCtx(ctx context.Context, a *analyzer.Analysis, sp *spec.Spec, opts 
 		return sched, nil
 	}
 
-	if opts.ScanTimePerRound == 0 {
-		opts.ScanTimePerRound = 2 * time.Second
-	}
 	// Scan pass: cheap budget per round count; skip past infeasible and
 	// undecided rounds alike (larger round counts are usually easier).
 	var undecided []int

@@ -130,8 +130,8 @@ func TestPlanCtxCancelMidSolve(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	go func() {
-		// Spans: 1 = plan, 2 = analyze, 3 = schedule.
-		for rec.NumSpans() < 3 {
+		// Spans: 1 = plan, 2 = class, 3 = analyze, 4 = schedule.
+		for rec.NumSpans() < 4 {
 			time.Sleep(50 * time.Microsecond)
 		}
 		cancel()
