@@ -64,6 +64,18 @@ type (
 	Network = sim.Network
 	// Prefix is a destination prefix (equivalence class).
 	Prefix = bgp.Prefix
+	// TableKind selects the RIB storage engine of a network (see RIBMap /
+	// RIBCow).
+	TableKind = bgp.TableKind
+	// RIB is the prefix-keyed route-table contract both engines implement.
+	RIB = bgp.RIB
+	// ScenarioConfig tweaks CaseStudy construction (seed, spare egress,
+	// extra prefixes, RIB engine, …).
+	ScenarioConfig = scenario.Config
+	// StormConfig parameterizes a prefix-scale announcement storm.
+	StormConfig = scenario.StormConfig
+	// Storm is a converged prefix-scale network.
+	Storm = scenario.Storm
 	// Command is an atomic configuration change.
 	Command = sim.Command
 	// Spec is a parsed specification.
@@ -119,6 +131,19 @@ const (
 	OutcomeInitial = supervisor.OutcomeInitial
 )
 
+// RIB engine selectors: RIBMap is the legacy map-backed table (the zero
+// value, and still the default); RIBCow is the prefix-scale copy-on-write
+// radix engine. Select via sim.Options.RIB, ScenarioConfig.RIB or
+// StormConfig.RIB; both engines produce byte-identical routing outcomes.
+const (
+	RIBMap = bgp.TableMap
+	RIBCow = bgp.TableCOW
+)
+
+// NewRIB returns an empty route table on the given engine, for callers
+// building RIB-shaped state of their own against the redesigned API.
+func NewRIB(kind TableKind) RIB { return bgp.NewRIB(kind) }
+
 // NewMonitor returns a transient-state monitor over cfg. Hand it to
 // PlanOptions.Monitor (the compiled specification is then tracked as an
 // additional invariant) and ExecOptions.Monitor (execution binds it to the
@@ -163,6 +188,20 @@ func NewNetwork(g *Graph, seed uint64) *Network {
 func NewCaseStudy(topo string, seed uint64) (*Scenario, error) {
 	return scenario.CaseStudy(topo, scenario.Config{Seed: seed})
 }
+
+// NewCaseStudyConfig is NewCaseStudy with full control over scenario
+// construction — including ScenarioConfig.RIB to run the scenario on the
+// prefix-scale COW table engine.
+func NewCaseStudyConfig(topo string, cfg ScenarioConfig) (*Scenario, error) {
+	return scenario.CaseStudy(topo, cfg)
+}
+
+// NewStorm builds a converged prefix-scale announcement-storm network: a
+// small iBGP full mesh whose border router learned cfg.Prefixes routes from
+// one external peer, injected as a batch (one message per session) when
+// cfg.Batched is set. Use it to exercise 100k-prefix tables; tracing is
+// disabled on the storm network by construction.
+func NewStorm(cfg StormConfig) (*Storm, error) { return scenario.BuildStorm(cfg) }
 
 // NewCaseStudyMulti is NewCaseStudy with extra destinations: beyond the
 // base prefix, extraPrefixes additional prefixes are announced in cycling

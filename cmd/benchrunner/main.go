@@ -10,6 +10,7 @@
 //	benchrunner -cost                # add a per-phase self-time flame digest
 //	benchrunner -list                # print the suite and exit
 //	benchrunner -serve :8080         # live /metrics + /healthz + pprof while running
+//	benchrunner -mem-budget-mb 4096  # exit 1 if the runtime footprint blows the cap
 //	benchrunner -compare old.json new.json   # exit 1 on regressions
 //
 // Without -out, the run is written to BENCH_<n>.json in the working
@@ -31,6 +32,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -51,6 +53,7 @@ var (
 	compareFlag   = flag.Bool("compare", false, "compare two BENCH files: benchrunner -compare old.json new.json")
 	thresholdFlag = flag.Float64("threshold", 0.10, "base relative slowdown tolerated by -compare")
 	noiseKFlag    = flag.Float64("noise-k", 3, "noise widening factor for -compare (K·(oldMAD+newMAD)/oldMedian)")
+	memBudgetFlag = flag.Int64("mem-budget-mb", 0, "fail the run if the Go runtime footprint (MemStats.Sys) exceeds this many MiB at any repetition boundary (0: no guard)")
 )
 
 func main() {
@@ -81,22 +84,48 @@ func run() error {
 		Cost:        *costFlag,
 	}
 
+	var observers []func(bench string, rep int, rec *obs.Recorder)
+
+	// The memory-budget guard samples the runtime footprint at every
+	// repetition boundary. MemStats.Sys is what the process actually holds
+	// from the OS — it only ever grows, so the maximum across boundaries is
+	// a floor on the run's peak; a benchmark whose working set blows the CI
+	// RAM cap trips this even if it would also finish.
+	var peakSysMiB int64
+	var peakBench string
+	if *memBudgetFlag > 0 {
+		observers = append(observers, func(bench string, rep int, rec *obs.Recorder) {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if sys := int64(ms.Sys >> 20); sys > peakSysMiB {
+				peakSysMiB, peakBench = sys, bench
+			}
+		})
+	}
+
 	// The live endpoint serves an aggregate view: every finished
 	// repetition's counters folded together, updated as the run progresses.
 	if *serveFlag != "" {
 		live := obs.New()
 		var mu sync.Mutex
-		cfg.Observer = func(bench string, rep int, rec *obs.Recorder) {
+		observers = append(observers, func(bench string, rep int, rec *obs.Recorder) {
 			mu.Lock()
 			defer mu.Unlock()
 			for name, v := range rec.Counters() {
 				live.Add(name, v)
 			}
-		}
+		})
 		obs.Serve(*serveFlag, live, obs.PromOptions{
 			ConstLabels: map[string]string{"job": "benchrunner"},
 		}, func(err error) { fmt.Fprintln(os.Stderr, "metrics server:", err) })
 		fmt.Printf("(live metrics on http://%s/metrics, pprof on /debug/pprof/)\n", *serveFlag)
+	}
+	if len(observers) > 0 {
+		cfg.Observer = func(bench string, rep int, rec *obs.Recorder) {
+			for _, o := range observers {
+				o(bench, rep, rec)
+			}
+		}
 	}
 
 	start := time.Now()
@@ -119,6 +148,15 @@ func run() error {
 		for _, e := range r.Flame {
 			fmt.Printf("    %-32s self %9.3fms/op  cum %9.3fms/op\n",
 				e.Path, e.SelfNSPerOp/1e6, e.TotalNSPerOp/1e6)
+		}
+	}
+
+	if *memBudgetFlag > 0 {
+		fmt.Printf("peak runtime footprint %d MiB (budget %d MiB, high-water at %s)\n",
+			peakSysMiB, *memBudgetFlag, peakBench)
+		if peakSysMiB > *memBudgetFlag {
+			return fmt.Errorf("memory budget exceeded: %d MiB > %d MiB (at %s)",
+				peakSysMiB, *memBudgetFlag, peakBench)
 		}
 	}
 

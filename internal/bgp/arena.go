@@ -1,0 +1,50 @@
+package bgp
+
+import "chameleon/internal/topology"
+
+// PathArena is a bump allocator for route propagation paths. Extending a
+// route allocates a fresh path slice per (route, hop); during a prefix
+// storm that is millions of tiny allocations. The arena carves them out of
+// large shared blocks instead, and clamps every handed-out slice to zero
+// spare capacity so a later append by any holder copies rather than
+// scribbling over a neighbor's path.
+//
+// Paths handed out are immutable by convention (Route.Extend always copies
+// before appending), so blocks are never reclaimed individually — the
+// arena is dropped wholesale with the network that owns it. Not safe for
+// concurrent use; the simulator is single-threaded by design.
+type PathArena struct {
+	block []topology.NodeID
+}
+
+// arenaBlock is the block granularity: 8192 node IDs = 64 KiB per block,
+// large enough to amortize allocator overhead, small enough to not strand
+// memory on tiny networks.
+const arenaBlock = 8192
+
+// ExtendPath returns path + [n] in arena storage. A nil arena falls back
+// to a plain allocation, so callers can thread an optional arena without
+// branching.
+func (a *PathArena) ExtendPath(path []topology.NodeID, n topology.NodeID) []topology.NodeID {
+	need := len(path) + 1
+	if a == nil {
+		out := make([]topology.NodeID, need)
+		copy(out, path)
+		out[need-1] = n
+		return out
+	}
+	if need > arenaBlock {
+		// Degenerate path longer than a block: plain allocation.
+		out := make([]topology.NodeID, need)
+		copy(out, path)
+		out[need-1] = n
+		return out
+	}
+	if len(a.block)+need > cap(a.block) {
+		a.block = make([]topology.NodeID, 0, arenaBlock)
+	}
+	start := len(a.block)
+	a.block = append(a.block, path...)
+	a.block = append(a.block, n)
+	return a.block[start : start+need : start+need]
+}

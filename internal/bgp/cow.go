@@ -1,0 +1,248 @@
+package bgp
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements the prefix-scale table engine: a chunked radix trie
+// over the integer prefix space with copy-on-write structural sharing.
+//
+// Layout: every node covers a 6-bit slice of the key, so fan-out is 64.
+// Leaves hold a 64-entry value chunk plus a presence bitmap; inner nodes
+// hold 64 child pointers. The trie's height adapts to the largest key ever
+// inserted (height 0 = the root is a single leaf covering prefixes 0..63),
+// so a three-prefix Loc-RIB is one small chunk while a million-prefix table
+// is four levels deep.
+//
+// Copy-on-write: every node records the owner token of the table that
+// allocated it. A mutation may update a node in place only when the node's
+// owner is the mutating table; otherwise the path from the root to the
+// touched chunk is copied first (path copying, ~height nodes). Clone is
+// O(1): it hands the root to the new table and gives BOTH tables fresh
+// owner tokens, so neither side can mutate shared nodes in place — exactly
+// the transient/persistent discipline of HAMT-style structures. Repeated
+// writes after a clone re-own the touched paths once and are in-place from
+// then on.
+
+const (
+	cowBits  = 6
+	cowFan   = 1 << cowBits // 64
+	cowMask  = cowFan - 1
+	cowDepth = 10 // max height: covers the full 63-bit non-negative key space
+)
+
+// cowOwner is a unique mutation token; identity (pointer) is all that
+// matters.
+type cowOwner struct{ _ byte }
+
+// cowNode is one trie node. Leaves have vals != nil; inner nodes have
+// inner != nil. Exactly one of the two is set.
+type cowNode[V any] struct {
+	owner   *cowOwner
+	inner   []*cowNode[V] // len cowFan when an inner node
+	present uint64        // leaf presence bitmap
+	vals    []V           // len cowFan when a leaf
+}
+
+func newCowLeaf[V any](o *cowOwner) *cowNode[V] {
+	return &cowNode[V]{owner: o, vals: make([]V, cowFan)}
+}
+
+func newCowInner[V any](o *cowOwner) *cowNode[V] {
+	return &cowNode[V]{owner: o, inner: make([]*cowNode[V], cowFan)}
+}
+
+// owned returns n if the table owns it, else a copy owned by o. The copy
+// shares child pointers (inner) or value storage content (vals) by copying
+// the slice, not the subtrees below it.
+func (n *cowNode[V]) owned(o *cowOwner) *cowNode[V] {
+	if n.owner == o {
+		return n
+	}
+	c := &cowNode[V]{owner: o, present: n.present}
+	if n.inner != nil {
+		c.inner = make([]*cowNode[V], cowFan)
+		copy(c.inner, n.inner)
+	}
+	if n.vals != nil {
+		c.vals = make([]V, cowFan)
+		copy(c.vals, n.vals)
+	}
+	return c
+}
+
+// cowTrie is the generic trie core, shared by the Route-valued RIB and the
+// Adj-RIB-In prefix refcount index.
+type cowTrie[V any] struct {
+	owner  *cowOwner
+	root   *cowNode[V]
+	height int // levels below the root; 0 = root is a leaf
+	size   int
+}
+
+func newCowTrie[V any]() *cowTrie[V] {
+	o := &cowOwner{}
+	return &cowTrie[V]{owner: o, root: newCowLeaf[V](o)}
+}
+
+// cowKey maps a Prefix to a trie key, rejecting negatives (prefixes are
+// equivalence-class indices, never negative in a table).
+func cowKey(p Prefix) uint64 {
+	if p < 0 {
+		panic(fmt.Sprintf("bgp: negative prefix %d in COW table", int(p)))
+	}
+	return uint64(p)
+}
+
+// capacity is the exclusive upper bound of keys the current height covers.
+func (t *cowTrie[V]) capacity() uint64 {
+	return uint64(1) << (cowBits * (t.height + 1))
+}
+
+// grow raises the root until k fits.
+func (t *cowTrie[V]) grow(k uint64) {
+	for k >= t.capacity() {
+		if t.height >= cowDepth {
+			panic(fmt.Sprintf("bgp: prefix %d exceeds COW table key space", k))
+		}
+		top := newCowInner[V](t.owner)
+		top.inner[0] = t.root
+		t.root = top
+		t.height++
+	}
+}
+
+func (t *cowTrie[V]) set(k uint64, v V) (added bool) {
+	t.grow(k)
+	t.root = t.root.owned(t.owner)
+	n := t.root
+	for lvl := t.height; lvl > 0; lvl-- {
+		idx := (k >> (cowBits * lvl)) & cowMask
+		child := n.inner[idx]
+		switch {
+		case child == nil:
+			if lvl == 1 {
+				child = newCowLeaf[V](t.owner)
+			} else {
+				child = newCowInner[V](t.owner)
+			}
+		default:
+			child = child.owned(t.owner)
+		}
+		n.inner[idx] = child
+		n = child
+	}
+	idx := k & cowMask
+	bit := uint64(1) << idx
+	added = n.present&bit == 0
+	n.present |= bit
+	n.vals[idx] = v
+	if added {
+		t.size++
+	}
+	return added
+}
+
+func (t *cowTrie[V]) get(k uint64) (V, bool) {
+	var zero V
+	if k >= t.capacity() {
+		return zero, false
+	}
+	n := t.root
+	for lvl := t.height; lvl > 0; lvl-- {
+		n = n.inner[(k>>(cowBits*lvl))&cowMask]
+		if n == nil {
+			return zero, false
+		}
+	}
+	idx := k & cowMask
+	if n.present&(uint64(1)<<idx) == 0 {
+		return zero, false
+	}
+	return n.vals[idx], true
+}
+
+func (t *cowTrie[V]) delete(k uint64) bool {
+	if k >= t.capacity() {
+		return false
+	}
+	// Probe first: deleting an absent key must not copy the path.
+	if _, ok := t.get(k); !ok {
+		return false
+	}
+	t.root = t.root.owned(t.owner)
+	n := t.root
+	for lvl := t.height; lvl > 0; lvl-- {
+		idx := (k >> (cowBits * lvl)) & cowMask
+		child := n.inner[idx].owned(t.owner)
+		n.inner[idx] = child
+		n = child
+	}
+	idx := k & cowMask
+	var zero V
+	n.present &^= uint64(1) << idx
+	n.vals[idx] = zero // release references held by the value
+	t.size--
+	return true
+}
+
+// walk calls fn for every entry in ascending key order until fn returns
+// false; it reports whether the walk ran to completion. Allocation-free.
+func (t *cowTrie[V]) walk(fn func(uint64, V) bool) bool {
+	return walkNode(t.root, t.height, 0, fn)
+}
+
+func walkNode[V any](n *cowNode[V], lvl int, base uint64, fn func(uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if lvl == 0 {
+		for b := n.present; b != 0; b &= b - 1 {
+			i := uint64(bits.TrailingZeros64(b))
+			if !fn(base|i, n.vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for i, c := range n.inner {
+		if c == nil {
+			continue
+		}
+		if !walkNode(c, lvl-1, base|uint64(i)<<(cowBits*lvl), fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// clone shares the whole trie in O(1). Both tables relinquish ownership of
+// every existing node, so the next write on either side path-copies.
+func (t *cowTrie[V]) clone() *cowTrie[V] {
+	t.owner = &cowOwner{}
+	return &cowTrie[V]{
+		owner:  &cowOwner{},
+		root:   t.root,
+		height: t.height,
+		size:   t.size,
+	}
+}
+
+// cowRIB adapts the trie to the RIB interface.
+type cowRIB struct {
+	t *cowTrie[Route]
+}
+
+func newCowRIB() *cowRIB { return &cowRIB{t: newCowTrie[Route]()} }
+
+func (c *cowRIB) Get(prefix Prefix) (Route, bool) { return c.t.get(cowKey(prefix)) }
+func (c *cowRIB) Set(route Route) bool            { return c.t.set(cowKey(route.Prefix), route) }
+func (c *cowRIB) Delete(prefix Prefix) bool       { return c.t.delete(cowKey(prefix)) }
+func (c *cowRIB) Len() int                        { return c.t.size }
+func (c *cowRIB) Clone() RIB                      { return &cowRIB{t: c.t.clone()} }
+func (c *cowRIB) Kind() TableKind                 { return TableCOW }
+
+func (c *cowRIB) Range(fn func(Prefix, Route) bool) {
+	c.t.walk(func(k uint64, r Route) bool { return fn(Prefix(k), r) })
+}

@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"slices"
 	"sort"
 
 	"chameleon/internal/topology"
@@ -37,82 +38,204 @@ func (k SessionKind) String() string {
 	return "unknown"
 }
 
-// AdjIn is the per-neighbor inbound RIB: the most recent route announced by
-// each neighbor for each prefix.
-type AdjIn struct {
-	// routes[neighbor][prefix] = route after ingress policy
-	routes map[topology.NodeID]map[Prefix]Route
+// prefixIndex tracks how many neighbors currently announce each prefix, so
+// AdjIn can iterate its prefix union in order without re-deriving it. The
+// map engine keeps the historical sort-on-walk cost; the COW engine walks
+// its trie allocation-free.
+type prefixIndex interface {
+	inc(Prefix)
+	dec(Prefix)
+	walk(fn func(Prefix) bool)
+	clone() prefixIndex
 }
 
-// NewAdjIn returns an empty Adj-RIB-In.
-func NewAdjIn() *AdjIn {
-	return &AdjIn{routes: make(map[topology.NodeID]map[Prefix]Route)}
+type mapIndex struct {
+	counts map[Prefix]int
 }
 
-// Set records the route announced by neighbor for route.Prefix.
-func (a *AdjIn) Set(neighbor topology.NodeID, route Route) {
-	m := a.routes[neighbor]
-	if m == nil {
-		m = make(map[Prefix]Route)
-		a.routes[neighbor] = m
+func (x *mapIndex) inc(p Prefix) { x.counts[p]++ }
+func (x *mapIndex) dec(p Prefix) {
+	if x.counts[p]--; x.counts[p] <= 0 {
+		delete(x.counts, p)
 	}
-	m[route.Prefix] = route
+}
+func (x *mapIndex) walk(fn func(Prefix) bool) {
+	keys := make([]Prefix, 0, len(x.counts))
+	for p := range x.counts {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, p := range keys {
+		if !fn(p) {
+			return
+		}
+	}
+}
+func (x *mapIndex) clone() prefixIndex {
+	c := make(map[Prefix]int, len(x.counts))
+	for p, n := range x.counts {
+		c[p] = n
+	}
+	return &mapIndex{counts: c}
+}
+
+type cowIndex struct {
+	t *cowTrie[int32]
+}
+
+func (x *cowIndex) inc(p Prefix) {
+	k := cowKey(p)
+	n, _ := x.t.get(k)
+	x.t.set(k, n+1)
+}
+func (x *cowIndex) dec(p Prefix) {
+	k := cowKey(p)
+	if n, ok := x.t.get(k); ok {
+		if n <= 1 {
+			x.t.delete(k)
+		} else {
+			x.t.set(k, n-1)
+		}
+	}
+}
+func (x *cowIndex) walk(fn func(Prefix) bool) {
+	x.t.walk(func(k uint64, _ int32) bool { return fn(Prefix(k)) })
+}
+func (x *cowIndex) clone() prefixIndex { return &cowIndex{t: x.t.clone()} }
+
+func newPrefixIndex(kind TableKind) prefixIndex {
+	if kind == TableCOW {
+		return &cowIndex{t: newCowTrie[int32]()}
+	}
+	return &mapIndex{counts: make(map[Prefix]int)}
+}
+
+// AdjIn is the per-neighbor inbound RIB: the most recent route announced by
+// each neighbor for each prefix. Storage is one RIB table per neighbor plus
+// an ordered prefix-union index, so walks never re-sort and the total entry
+// count is maintained incrementally.
+type AdjIn struct {
+	kind   TableKind
+	routes map[topology.NodeID]RIB
+	// nbrs lists every neighbor with a table, sorted, so candidate walks
+	// are deterministic and allocation-free.
+	nbrs  []topology.NodeID
+	index prefixIndex
+	size  int
+}
+
+// NewAdjIn returns an empty Adj-RIB-In on the legacy map engine.
+func NewAdjIn() *AdjIn { return NewAdjInKind(TableMap) }
+
+// NewAdjInKind returns an empty Adj-RIB-In on the given table engine.
+func NewAdjInKind(kind TableKind) *AdjIn {
+	return &AdjIn{
+		kind:   kind,
+		routes: make(map[topology.NodeID]RIB),
+		index:  newPrefixIndex(kind),
+	}
+}
+
+// Kind identifies the storage engine.
+func (a *AdjIn) Kind() TableKind { return a.kind }
+
+// Set records the route announced by neighbor for route.Prefix, reporting
+// whether the (neighbor, prefix) entry is new.
+func (a *AdjIn) Set(neighbor topology.NodeID, route Route) (added bool) {
+	t := a.routes[neighbor]
+	if t == nil {
+		t = NewRIB(a.kind)
+		a.routes[neighbor] = t
+		i, _ := slices.BinarySearch(a.nbrs, neighbor)
+		a.nbrs = slices.Insert(a.nbrs, i, neighbor)
+	}
+	added = t.Set(route)
+	if added {
+		a.index.inc(route.Prefix)
+		a.size++
+	}
+	return added
 }
 
 // Withdraw removes the route for prefix announced by neighbor, reporting
 // whether one was present.
 func (a *AdjIn) Withdraw(neighbor topology.NodeID, prefix Prefix) bool {
-	m := a.routes[neighbor]
-	if m == nil {
+	t := a.routes[neighbor]
+	if t == nil || !t.Delete(prefix) {
 		return false
 	}
-	if _, ok := m[prefix]; !ok {
-		return false
-	}
-	delete(m, prefix)
+	a.index.dec(prefix)
+	a.size--
 	return true
 }
 
 // Get returns the route for prefix announced by neighbor, if any.
 func (a *AdjIn) Get(neighbor topology.NodeID, prefix Prefix) (Route, bool) {
-	m := a.routes[neighbor]
-	if m == nil {
+	t := a.routes[neighbor]
+	if t == nil {
 		return Route{}, false
 	}
-	r, ok := m[prefix]
-	return r, ok
+	return t.Get(prefix)
 }
 
-// DropNeighbor removes all state from the given neighbor (session teardown)
-// and returns the prefixes that lost a route.
-func (a *AdjIn) DropNeighbor(neighbor topology.NodeID) []Prefix {
-	m := a.routes[neighbor]
-	if m == nil {
-		return nil
+// DropNeighborRange removes all state from the given neighbor (session
+// teardown) and calls fn for each prefix that lost a route, in ascending
+// order, until fn returns false. The neighbor's state is fully gone before
+// the first callback, so fn observes the post-teardown table.
+func (a *AdjIn) DropNeighborRange(neighbor topology.NodeID, fn func(Prefix) bool) {
+	t := a.routes[neighbor]
+	if t == nil {
+		return
 	}
-	var prefixes []Prefix
-	for p := range m {
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
 	delete(a.routes, neighbor)
+	if i, ok := slices.BinarySearch(a.nbrs, neighbor); ok {
+		a.nbrs = slices.Delete(a.nbrs, i, i+1)
+	}
+	a.size -= t.Len()
+	t.Range(func(p Prefix, _ Route) bool {
+		a.index.dec(p)
+		return true
+	})
+	if fn != nil {
+		t.Range(func(p Prefix, _ Route) bool { return fn(p) })
+	}
+}
+
+// DropNeighbor removes all state from the given neighbor and returns the
+// prefixes that lost a route, sorted.
+//
+// Deprecated: it allocates the result slice on every teardown; use
+// DropNeighborRange.
+func (a *AdjIn) DropNeighbor(neighbor topology.NodeID) []Prefix {
+	var prefixes []Prefix
+	a.DropNeighborRange(neighbor, func(p Prefix) bool {
+		prefixes = append(prefixes, p)
+		return true
+	})
 	return prefixes
+}
+
+// RangeCandidates calls fn with every (neighbor, route) pair known for
+// prefix, in ascending neighbor order, until fn returns false.
+// Allocation-free.
+func (a *AdjIn) RangeCandidates(prefix Prefix, fn func(topology.NodeID, Route) bool) {
+	for _, n := range a.nbrs {
+		if r, ok := a.routes[n].Get(prefix); ok {
+			if !fn(n, r) {
+				return
+			}
+		}
+	}
 }
 
 // Candidates returns all routes currently known for prefix, sorted by
 // advertising neighbor for determinism.
 func (a *AdjIn) Candidates(prefix Prefix) []Route {
-	var neighbors []topology.NodeID
-	for n, m := range a.routes {
-		if _, ok := m[prefix]; ok {
-			neighbors = append(neighbors, n)
-		}
-	}
-	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
-	out := make([]Route, 0, len(neighbors))
-	for _, n := range neighbors {
-		out = append(out, a.routes[n][prefix])
-	}
+	var out []Route
+	a.RangeCandidates(prefix, func(_ topology.NodeID, r Route) bool {
+		out = append(out, r)
+		return true
+	})
 	return out
 }
 
@@ -126,70 +249,106 @@ type NeighborRoute struct {
 // sorted by neighbor ID for determinism.
 func (a *AdjIn) NeighborCandidates(prefix Prefix) []NeighborRoute {
 	var out []NeighborRoute
-	for n, m := range a.routes {
-		if r, ok := m[prefix]; ok {
-			out = append(out, NeighborRoute{Neighbor: n, Route: r})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Neighbor < out[j].Neighbor })
+	a.RangeCandidates(prefix, func(n topology.NodeID, r Route) bool {
+		out = append(out, NeighborRoute{Neighbor: n, Route: r})
+		return true
+	})
 	return out
 }
+
+// RangeNeighbor calls fn for every (prefix, route) announced by neighbor,
+// in ascending prefix order, until fn returns false.
+func (a *AdjIn) RangeNeighbor(neighbor topology.NodeID, fn func(Prefix, Route) bool) {
+	if t := a.routes[neighbor]; t != nil {
+		t.Range(fn)
+	}
+}
+
+// RangePrefixes calls fn for every prefix with at least one candidate
+// route, in ascending order, until fn returns false. On the COW engine the
+// walk is allocation-free; the map engine keeps its historical
+// sort-a-fresh-slice cost.
+func (a *AdjIn) RangePrefixes(fn func(Prefix) bool) { a.index.walk(fn) }
 
 // Prefixes returns all prefixes with at least one candidate route, sorted.
+//
+// Deprecated: it allocates the result slice on every walk; use
+// RangePrefixes.
 func (a *AdjIn) Prefixes() []Prefix {
-	seen := make(map[Prefix]bool)
-	for _, m := range a.routes {
-		for p := range m {
-			seen[p] = true
-		}
-	}
-	out := make([]Prefix, 0, len(seen))
-	for p := range seen {
+	var out []Prefix
+	a.RangePrefixes(func(p Prefix) bool {
 		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return true
+	})
 	return out
 }
 
+// Neighbors returns the neighbors with Adj-RIB-In state, sorted. The
+// returned slice is the AdjIn's own and must not be mutated.
+func (a *AdjIn) Neighbors() []topology.NodeID { return a.nbrs }
+
 // Size returns the total number of stored routes across all neighbors and
-// prefixes; this is the routing-table-size metric of §7.3.
-func (a *AdjIn) Size() int {
-	total := 0
-	for _, m := range a.routes {
-		total += len(m)
+// prefixes in O(1); this is the routing-table-size metric of §7.3.
+func (a *AdjIn) Size() int { return a.size }
+
+// Clone returns an independent copy. On the COW engine every per-neighbor
+// table and the prefix index share unchanged subtrees with the original.
+func (a *AdjIn) Clone() *AdjIn {
+	c := &AdjIn{
+		kind:   a.kind,
+		routes: make(map[topology.NodeID]RIB, len(a.routes)),
+		nbrs:   slices.Clone(a.nbrs),
+		index:  a.index.clone(),
+		size:   a.size,
 	}
-	return total
+	for n, t := range a.routes {
+		c.routes[n] = t.Clone()
+	}
+	return c
 }
 
 // LocRIB is the per-prefix best-route table of one router.
 type LocRIB struct {
-	best map[Prefix]Route
+	t RIB
 }
 
-// NewLocRIB returns an empty Loc-RIB.
-func NewLocRIB() *LocRIB { return &LocRIB{best: make(map[Prefix]Route)} }
+// NewLocRIB returns an empty Loc-RIB on the legacy map engine.
+func NewLocRIB() *LocRIB { return NewLocRIBKind(TableMap) }
+
+// NewLocRIBKind returns an empty Loc-RIB on the given table engine.
+func NewLocRIBKind(kind TableKind) *LocRIB { return &LocRIB{t: NewRIB(kind)} }
+
+// Kind identifies the storage engine.
+func (l *LocRIB) Kind() TableKind { return l.t.Kind() }
 
 // Get returns the selected route for prefix, if any.
-func (l *LocRIB) Get(prefix Prefix) (Route, bool) {
-	r, ok := l.best[prefix]
-	return r, ok
-}
+func (l *LocRIB) Get(prefix Prefix) (Route, bool) { return l.t.Get(prefix) }
 
 // Set installs route as the selection for route.Prefix.
-func (l *LocRIB) Set(route Route) { l.best[route.Prefix] = route }
+func (l *LocRIB) Set(route Route) { l.t.Set(route) }
 
 // Clear removes the selection for prefix.
-func (l *LocRIB) Clear(prefix Prefix) { delete(l.best, prefix) }
+func (l *LocRIB) Clear(prefix Prefix) { l.t.Delete(prefix) }
+
+// Range calls fn for every (prefix, selected route) pair in ascending
+// prefix order until fn returns false. On the COW engine the walk is
+// allocation-free.
+func (l *LocRIB) Range(fn func(Prefix, Route) bool) { l.t.Range(fn) }
 
 // Prefixes returns all prefixes with a selection, sorted.
+//
+// Deprecated: it allocates the result slice on every walk; use Range.
 func (l *LocRIB) Prefixes() []Prefix {
-	out := make([]Prefix, 0, len(l.best))
-	for p := range l.best {
+	out := make([]Prefix, 0, l.t.Len())
+	l.t.Range(func(p Prefix, _ Route) bool {
 		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return true
+	})
 	return out
 }
 
 // Size returns the number of selected routes.
-func (l *LocRIB) Size() int { return len(l.best) }
+func (l *LocRIB) Size() int { return l.t.Len() }
+
+// Clone returns an independent copy; COW tables share unchanged subtrees.
+func (l *LocRIB) Clone() *LocRIB { return &LocRIB{t: l.t.Clone()} }

@@ -1,0 +1,249 @@
+package bgp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"chameleon/internal/topology"
+)
+
+func testRoute(p Prefix, egress topology.NodeID) Route {
+	return Route{Prefix: p, Egress: egress, Path: []topology.NodeID{egress}, LocalPref: 100}
+}
+
+// TestRIBEnginesAgree drives the same randomized operation sequence through
+// both engines and checks they stay observationally identical.
+func TestRIBEnginesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewRIB(TableMap)
+	c := NewRIB(TableCOW)
+	const universe = 4096
+	for i := 0; i < 20000; i++ {
+		p := Prefix(rng.Intn(universe))
+		if rng.Intn(3) == 0 {
+			if m.Delete(p) != c.Delete(p) {
+				t.Fatalf("op %d: Delete(%d) disagrees", i, p)
+			}
+		} else {
+			r := testRoute(p, topology.NodeID(rng.Intn(16)))
+			if m.Set(r) != c.Set(r) {
+				t.Fatalf("op %d: Set(%d) added-disagrees", i, p)
+			}
+		}
+	}
+	if m.Len() != c.Len() {
+		t.Fatalf("Len: map %d cow %d", m.Len(), c.Len())
+	}
+	type kv struct {
+		P Prefix
+		R Route
+	}
+	collect := func(r RIB) []kv {
+		var out []kv
+		r.Range(func(p Prefix, rt Route) bool {
+			out = append(out, kv{p, rt})
+			return true
+		})
+		return out
+	}
+	mkv, ckv := collect(m), collect(c)
+	if !reflect.DeepEqual(mkv, ckv) {
+		t.Fatalf("Range output differs: map has %d entries, cow %d", len(mkv), len(ckv))
+	}
+	for i := 1; i < len(ckv); i++ {
+		if ckv[i-1].P >= ckv[i].P {
+			t.Fatalf("cow Range out of order at %d: %d >= %d", i, ckv[i-1].P, ckv[i].P)
+		}
+	}
+	for _, e := range mkv {
+		mr, mok := m.Get(e.P)
+		cr, cok := c.Get(e.P)
+		if mok != cok || !reflect.DeepEqual(mr, cr) {
+			t.Fatalf("Get(%d) disagrees", e.P)
+		}
+	}
+}
+
+// TestCOWCloneIsolation checks that after Clone neither table observes the
+// other's writes, in both directions, including deep prefix keys.
+func TestCOWCloneIsolation(t *testing.T) {
+	orig := NewRIB(TableCOW)
+	for _, p := range []Prefix{0, 1, 63, 64, 100000, 999999} {
+		orig.Set(testRoute(p, 1))
+	}
+	snap := orig.Clone()
+
+	// Mutate the original: overwrite, insert, delete.
+	orig.Set(testRoute(63, 9))
+	orig.Set(testRoute(500, 9))
+	orig.Delete(100000)
+
+	if r, ok := snap.Get(63); !ok || r.Egress != 1 {
+		t.Fatalf("clone saw original's overwrite: %+v %v", r, ok)
+	}
+	if _, ok := snap.Get(500); ok {
+		t.Fatal("clone saw original's insert")
+	}
+	if _, ok := snap.Get(100000); !ok {
+		t.Fatal("clone saw original's delete")
+	}
+
+	// Mutate the clone: the original must be unaffected too.
+	snap.Set(testRoute(0, 7))
+	snap.Delete(999999)
+	if r, ok := orig.Get(0); !ok || r.Egress != 1 {
+		t.Fatalf("original saw clone's overwrite: %+v %v", r, ok)
+	}
+	if _, ok := orig.Get(999999); !ok {
+		t.Fatal("original saw clone's delete")
+	}
+	if snap.Len() != 5 || orig.Len() != 6 {
+		t.Fatalf("sizes drifted: snap %d orig %d", snap.Len(), orig.Len())
+	}
+}
+
+// TestCOWCloneChain stresses repeated clone+mutate cycles, mimicking the
+// per-round CaptureState pattern, and verifies every snapshot keeps its
+// point-in-time content.
+func TestCOWCloneChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	live := NewRIB(TableCOW)
+	model := map[Prefix]Route{}
+	type snap struct {
+		table RIB
+		want  map[Prefix]Route
+	}
+	var snaps []snap
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 200; i++ {
+			p := Prefix(rng.Intn(2048))
+			if rng.Intn(4) == 0 {
+				live.Delete(p)
+				delete(model, p)
+			} else {
+				r := testRoute(p, topology.NodeID(rng.Intn(8)))
+				live.Set(r)
+				model[p] = r
+			}
+		}
+		want := make(map[Prefix]Route, len(model))
+		for p, r := range model {
+			want[p] = r
+		}
+		snaps = append(snaps, snap{table: live.Clone(), want: want})
+	}
+	for i, s := range snaps {
+		if s.table.Len() != len(s.want) {
+			t.Fatalf("snap %d: len %d want %d", i, s.table.Len(), len(s.want))
+		}
+		seen := 0
+		bad := false
+		s.table.Range(func(p Prefix, r Route) bool {
+			seen++
+			if w, ok := s.want[p]; !ok || !reflect.DeepEqual(w, r) {
+				bad = true
+				return false
+			}
+			return true
+		})
+		if bad || seen != len(s.want) {
+			t.Fatalf("snap %d: content drifted (saw %d of %d)", i, seen, len(s.want))
+		}
+	}
+}
+
+// TestCOWRangeAllocs verifies the ordered walk over the COW engine does not
+// allocate.
+func TestCOWRangeAllocs(t *testing.T) {
+	r := NewRIB(TableCOW)
+	for p := Prefix(0); p < 10000; p += 3 {
+		r.Set(testRoute(p, 2))
+	}
+	n := 0
+	cb := func(Prefix, Route) bool { n++; return true }
+	allocs := testing.AllocsPerRun(10, func() { r.Range(cb) })
+	if allocs > 0 {
+		t.Fatalf("COW Range allocated %.1f times per walk", allocs)
+	}
+}
+
+func TestAdjInRangeAndClone(t *testing.T) {
+	for _, kind := range []TableKind{TableMap, TableCOW} {
+		a := NewAdjInKind(kind)
+		a.Set(3, testRoute(10, 3))
+		a.Set(1, testRoute(10, 1))
+		a.Set(1, testRoute(20, 1))
+		if a.Size() != 3 {
+			t.Fatalf("%v: size %d want 3", kind, a.Size())
+		}
+		if got := a.Prefixes(); !reflect.DeepEqual(got, []Prefix{10, 20}) {
+			t.Fatalf("%v: prefixes %v", kind, got)
+		}
+		var nbrs []topology.NodeID
+		a.RangeCandidates(10, func(n topology.NodeID, _ Route) bool {
+			nbrs = append(nbrs, n)
+			return true
+		})
+		if !reflect.DeepEqual(nbrs, []topology.NodeID{1, 3}) {
+			t.Fatalf("%v: candidate order %v", kind, nbrs)
+		}
+
+		c := a.Clone()
+		a.Withdraw(1, 10)
+		a.Set(2, testRoute(30, 2))
+		if c.Size() != 3 || a.Size() != 3 {
+			t.Fatalf("%v: clone sizes drifted: %d %d", kind, c.Size(), a.Size())
+		}
+		if _, ok := c.Get(1, 10); !ok {
+			t.Fatalf("%v: clone saw withdraw", kind)
+		}
+		if _, ok := c.Get(2, 30); ok {
+			t.Fatalf("%v: clone saw new neighbor", kind)
+		}
+
+		var dropped []Prefix
+		a.DropNeighborRange(1, func(p Prefix) bool {
+			dropped = append(dropped, p)
+			return true
+		})
+		if !reflect.DeepEqual(dropped, []Prefix{20}) {
+			t.Fatalf("%v: dropped %v", kind, dropped)
+		}
+		if a.Size() != 2 {
+			t.Fatalf("%v: size after drop %d", kind, a.Size())
+		}
+	}
+}
+
+func TestPathArena(t *testing.T) {
+	var a PathArena
+	base := []topology.NodeID{1, 2}
+	p1 := a.ExtendPath(base, 3)
+	p2 := a.ExtendPath(p1, 4)
+	if !reflect.DeepEqual(p1, []topology.NodeID{1, 2, 3}) {
+		t.Fatalf("p1 = %v", p1)
+	}
+	if !reflect.DeepEqual(p2, []topology.NodeID{1, 2, 3, 4}) {
+		t.Fatalf("p2 = %v", p2)
+	}
+	// Appending to an arena slice must copy, never scribble on a neighbor.
+	_ = append(p1, 99)
+	if !reflect.DeepEqual(p2, []topology.NodeID{1, 2, 3, 4}) {
+		t.Fatalf("append aliased arena storage: p2 = %v", p2)
+	}
+	// Nil arena falls back to plain allocation.
+	var nilA *PathArena
+	p3 := nilA.ExtendPath(base, 5)
+	if !reflect.DeepEqual(p3, []topology.NodeID{1, 2, 5}) {
+		t.Fatalf("p3 = %v", p3)
+	}
+	// Cross block boundaries.
+	long := make([]topology.NodeID, 0, 40)
+	for i := 0; i < 2000; i++ {
+		long = a.ExtendPath(long[:min(len(long), 20)], topology.NodeID(i))
+	}
+	if long[len(long)-1] != 1999 {
+		t.Fatalf("block rollover lost tail: %v", long[len(long)-1])
+	}
+}

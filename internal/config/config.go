@@ -378,14 +378,25 @@ func (c *Config) Build(seed uint64) (*topology.Graph, *sim.Network, []sim.Comman
 		}
 		net.UpdateRouteMap(node, from, sim.In, func(m *sim.RouteMap) { m.Add(entry) })
 	}
+	// Announcements are injected as one batch per external peer: a config
+	// declaring thousands of routes converges with one message per session
+	// instead of one per route.
+	byExt := make(map[topology.NodeID][]sim.Announcement)
+	var extOrder []topology.NodeID
 	for _, a := range c.Announces {
 		ext, err := lookup(a.External)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		net.InjectExternalRoute(ext, sim.Announcement{
+		if _, seen := byExt[ext]; !seen {
+			extOrder = append(extOrder, ext)
+		}
+		byExt[ext] = append(byExt[ext], sim.Announcement{
 			Prefix: bgp.Prefix(a.Prefix), ASPathLen: a.ASPathLen, MED: a.MED,
 		})
+	}
+	for _, ext := range extOrder {
+		net.InjectExternalRoutes(ext, byExt[ext])
 	}
 	net.Run()
 

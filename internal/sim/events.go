@@ -15,6 +15,12 @@ type msgKind int
 const (
 	msgUpdate msgKind = iota
 	msgWithdraw
+	// msgBatch carries many updates and withdrawals in one delivery: the
+	// receiver applies them all to its Adj-RIB-In, then runs ONE decision
+	// pass per affected prefix and forwards at most one batch per
+	// neighbor. This is what keeps 100k-prefix announcement storms at
+	// O(routes) work instead of O(routes × messages).
+	msgBatch
 )
 
 // message is a BGP message in flight on a directed session.
@@ -24,6 +30,10 @@ type message struct {
 	to     topology.NodeID
 	route  bgp.Route  // for msgUpdate
 	prefix bgp.Prefix // for msgWithdraw
+
+	// Batch payload (msgBatch), in ascending prefix order.
+	updates   []bgp.Route
+	withdraws []bgp.Prefix
 }
 
 // event is a queue entry: either a message delivery or a scheduled function

@@ -27,8 +27,15 @@ type Options struct {
 	// the session endpoints, emulating geographic distance.
 	DelayPerIGPUnit time.Duration
 	// TracePrefixes enables forwarding-trace recording for these prefixes
-	// (nil records all).
+	// (nil records all). Pass an empty non-nil slice to disable tracing
+	// entirely — prefix-scale scenarios must, or trace storage dominates
+	// memory.
 	TracePrefixes []bgp.Prefix
+	// RIB selects the table engine backing every router's Adj-RIB-In,
+	// Loc-RIB and Adj-RIB-Out. The zero value is the legacy map engine;
+	// bgp.TableCOW enables copy-on-write structural sharing for
+	// prefix-scale scenarios.
+	RIB bgp.TableKind
 }
 
 // DefaultOptions returns the options used across the evaluation: 10 ms
@@ -66,9 +73,16 @@ type Network struct {
 	// inherited by Clone.
 	snapHook SnapshotHook
 
-	// maxTableEntries tracks the §7.3 metric: the maximum, over time, of
-	// the network-wide total number of Adj-RIB-In entries.
+	// tableEntries is the current network-wide Adj-RIB-In entry count over
+	// internal routers, maintained incrementally at every table mutation;
+	// maxTableEntries tracks the §7.3 metric: the maximum of tableEntries
+	// over time.
+	tableEntries    int
 	maxTableEntries int
+
+	// arena backs the propagation paths of exported routes; dropped
+	// wholesale with the network.
+	arena *bgp.PathArena
 
 	// ebgpExports counts routes advertised to external peers, per prefix,
 	// used to verify Chameleon never leaks transient routes (§3).
@@ -106,6 +120,7 @@ func New(g *topology.Graph, opts Options) *Network {
 		traces:       make(map[bgp.Prefix]*fwd.Trace),
 		dirty:        make(map[bgp.Prefix]bool),
 		ebgpExports:  make(map[bgp.Prefix]int),
+		arena:        &bgp.PathArena{},
 	}
 	if opts.TracePrefixes == nil {
 		n.traceAll = true
@@ -115,10 +130,13 @@ func New(g *topology.Graph, opts Options) *Network {
 		}
 	}
 	for _, node := range g.Nodes() {
-		n.routers = append(n.routers, newRouter(node.ID, node.External))
+		n.routers = append(n.routers, newRouter(node.ID, node.External, opts.RIB))
 	}
 	return n
 }
+
+// TableKind returns the RIB engine this network runs on.
+func (n *Network) TableKind() bgp.TableKind { return n.opts.RIB }
 
 // BeginRun gives the next execution on this network exclusive ownership of
 // the message-jitter RNG: run r (r ≥ 1) draws from a fresh PCG stream
@@ -189,8 +207,8 @@ func (n *Network) SetSession(a, b topology.NodeID, kindAtA bgp.SessionKind) {
 	if !existed {
 		n.count(obs.CtrSessionsOpened, 1)
 	}
-	ra.sessions[b] = kindAtA
-	rb.sessions[a] = reverseKind(kindAtA)
+	ra.setSession(b, kindAtA)
+	rb.setSession(a, reverseKind(kindAtA))
 	if existed {
 		// Role change: it alters not only what flows over this session but
 		// also how routes *learned* over it may be re-exported (client vs
@@ -233,10 +251,15 @@ func (n *Network) teardownHalf(at, peer topology.NodeID) {
 	if _, ok := r.sessions[peer]; !ok {
 		return
 	}
-	delete(r.sessions, peer)
+	r.dropSession(peer)
 	delete(r.adjOut, peer)
-	for _, p := range r.adjIn.DropNeighbor(peer) {
+	before := r.adjIn.Size()
+	r.adjIn.DropNeighborRange(peer, func(p bgp.Prefix) bool {
 		n.runDecision(at, p)
+		return true
+	})
+	if !r.external {
+		n.tableEntries -= before - r.adjIn.Size()
 	}
 }
 
@@ -247,9 +270,10 @@ func (n *Network) HasSession(a, b topology.NodeID) (bgp.SessionKind, bool) {
 	return k, ok
 }
 
-// Sessions returns node a's neighbors.
+// Sessions returns node a's neighbors, sorted. The slice is the caller's
+// to keep.
 func (n *Network) Sessions(a topology.NodeID) []topology.NodeID {
-	return n.routers[a].neighbors()
+	return slices.Clone(n.routers[a].neighbors())
 }
 
 // UpdateRouteMap mutates the route map of node towards neighbor in the
@@ -258,9 +282,12 @@ func (n *Network) UpdateRouteMap(node, neighbor topology.NodeID, dir Direction, 
 	r := n.routers[node]
 	mutate(r.ensureRouteMap(dir, neighbor))
 	if dir == In {
-		for _, p := range r.adjIn.Prefixes() {
+		// runDecision never mutates the Adj-RIB-In, so ranging while
+		// deciding is safe.
+		r.adjIn.RangePrefixes(func(p bgp.Prefix) bool {
 			n.runDecision(node, p)
-		}
+			return true
+		})
 	} else {
 		n.refreshExports(node, neighbor)
 	}
@@ -294,18 +321,7 @@ func (n *Network) WithdrawExternalRoute(ext topology.NodeID, prefix bgp.Prefix) 
 }
 
 func (n *Network) sendExternalAnnouncement(ext, peer topology.NodeID, ann Announcement) {
-	route := bgp.Route{
-		Prefix:       ann.Prefix,
-		Egress:       peer,
-		External:     ext,
-		Path:         []topology.NodeID{peer},
-		LocalPref:    bgp.DefaultLocalPref,
-		ASPathLen:    ann.ASPathLen,
-		MED:          ann.MED,
-		FromEBGP:     true,
-		OriginatorID: topology.None,
-	}
-	n.sendMsg(&message{kind: msgUpdate, from: ext, to: peer, route: route})
+	n.sendMsg(&message{kind: msgUpdate, from: ext, to: peer, route: externalRoute(peer, ext, ann)})
 }
 
 // FailLink fails the physical link between a and b and reconverges the IGP,
@@ -334,19 +350,20 @@ func (n *Network) igpChanged() {
 		if r.external {
 			continue
 		}
-		for _, p := range r.adjIn.Prefixes() {
+		r.adjIn.RangePrefixes(func(p bgp.Prefix) bool {
 			n.runDecision(r.id, p)
-		}
+			return true
+		})
 		n.markAllDirtyFor(r.id)
 	}
 	n.snapshotDirty()
 }
 
 func (n *Network) markAllDirtyFor(node topology.NodeID) {
-	r := n.routers[node]
-	for _, p := range r.locRib.Prefixes() {
+	n.routers[node].locRib.Range(func(p bgp.Prefix, _ bgp.Route) bool {
 		n.dirty[p] = true
-	}
+		return true
+	})
 }
 
 // --- Event loop ----------------------------------------------------------
@@ -417,14 +434,22 @@ func (n *Network) Converged() bool { return n.queue.Len() == 0 }
 
 func (n *Network) deliver(m *message) {
 	n.msgCount++
-	if m.kind == msgUpdate {
+	switch m.kind {
+	case msgUpdate:
 		n.count(obs.CtrBGPUpdates, 1)
-	} else {
+	case msgWithdraw:
 		n.count(obs.CtrBGPWithdraws, 1)
+	case msgBatch:
+		n.count(obs.CtrBGPUpdates, int64(len(m.updates)))
+		n.count(obs.CtrBGPWithdraws, int64(len(m.withdraws)))
 	}
 	r := n.routers[m.to]
 	if _, up := r.sessions[m.from]; !up {
 		return // session went away while the message was in flight
+	}
+	if m.kind == msgBatch {
+		n.deliverBatch(r, m)
+		return
 	}
 	if r.external {
 		// External networks are sinks; record exports for the
@@ -442,28 +467,60 @@ func (n *Network) deliver(m *message) {
 		if !r.acceptable(m.route) {
 			// Loop-rejected; an earlier route from this neighbor is
 			// implicitly replaced (treat as withdraw).
-			r.adjIn.Withdraw(m.from, m.route.Prefix)
+			n.adjInWithdraw(r, m.from, m.route.Prefix)
 			n.runDecision(m.to, m.route.Prefix)
 			return
 		}
-		r.adjIn.Set(m.from, m.route)
+		n.adjInSet(r, m.from, m.route)
 		n.runDecision(m.to, m.route.Prefix)
 	case msgWithdraw:
-		if r.adjIn.Withdraw(m.from, m.prefix) {
+		if n.adjInWithdraw(r, m.from, m.prefix) {
 			n.runDecision(m.to, m.prefix)
 		}
 	}
+}
+
+// adjInSet and adjInWithdraw funnel every internal-router Adj-RIB-In
+// mutation through the incremental tableEntries counter.
+func (n *Network) adjInSet(r *router, from topology.NodeID, route bgp.Route) {
+	if r.adjIn.Set(from, route) && !r.external {
+		n.tableEntries++
+	}
+}
+
+func (n *Network) adjInWithdraw(r *router, from topology.NodeID, prefix bgp.Prefix) bool {
+	if !r.adjIn.Withdraw(from, prefix) {
+		return false
+	}
+	if !r.external {
+		n.tableEntries--
+	}
+	return true
 }
 
 // runDecision re-runs the best-path selection at node for prefix and, if
 // the selection changed, propagates the new state.
 func (n *Network) runDecision(node topology.NodeID, prefix bgp.Prefix) {
 	r := n.routers[node]
+	if !n.decide(r, prefix) {
+		return
+	}
+	n.propagate(node, prefix)
+	// A contributor change may (de)activate a summary (§8 aggregation).
+	if len(r.aggRules) > 0 && !isSummary(r, prefix) {
+		n.evalAggregates(node)
+	}
+}
+
+// decide re-runs best-path selection at r for prefix, updates the Loc-RIB
+// and the dirty set, and reports whether the selection changed. It never
+// mutates the Adj-RIB-In, so callers may invoke it while ranging one.
+func (n *Network) decide(r *router, prefix bgp.Prefix) bool {
 	cands := r.ingressCandidates(prefix)
 	if agg, ok := r.aggregateRoute(prefix); ok {
 		cands = append(cands, agg)
 	}
-	cmp := bgp.Comparator{SPF: n.spf, Node: node}
+	cmp := bgp.Comparator{SPF: n.spf, Node: r.id}
 	old, hadOld := r.locRib.Get(prefix)
 	var selected bgp.Route
 	have := false
@@ -473,9 +530,9 @@ func (n *Network) runDecision(node topology.NodeID, prefix bgp.Prefix) {
 	}
 	switch {
 	case !hadOld && !have:
-		return
+		return false
 	case hadOld && have && routesIdentical(old, selected):
-		return
+		return false
 	}
 	if have {
 		r.locRib.Set(selected)
@@ -483,11 +540,7 @@ func (n *Network) runDecision(node topology.NodeID, prefix bgp.Prefix) {
 		r.locRib.Clear(prefix)
 	}
 	n.dirty[prefix] = true
-	n.propagate(node, prefix)
-	// A contributor change may (de)activate a summary (§8 aggregation).
-	if len(r.aggRules) > 0 && !isSummary(r, prefix) {
-		n.evalAggregates(node)
-	}
+	return true
 }
 
 func isSummary(r *router, prefix bgp.Prefix) bool {
@@ -517,15 +570,23 @@ func (n *Network) propagate(node topology.NodeID, prefix bgp.Prefix) {
 // towards one neighbor, used after egress route-map or session changes.
 func (n *Network) refreshExports(node, neighbor topology.NodeID) {
 	r := n.routers[node]
-	seen := make(map[bgp.Prefix]bool)
-	for _, p := range r.locRib.Prefixes() {
-		seen[p] = true
-		n.exportDiff(node, neighbor, p)
+	// Stale Adj-RIB-Out entries (sent earlier, no longer selected) are
+	// collected up front: exportDiff deletes from the table being walked.
+	var stale []bgp.Prefix
+	if out := r.adjOut[neighbor]; out != nil {
+		out.Range(func(p bgp.Prefix, _ bgp.Route) bool {
+			if _, ok := r.locRib.Get(p); !ok {
+				stale = append(stale, p)
+			}
+			return true
+		})
 	}
-	for p := range r.adjOut[neighbor] {
-		if !seen[p] {
-			n.exportDiff(node, neighbor, p)
-		}
+	r.locRib.Range(func(p bgp.Prefix, _ bgp.Route) bool {
+		n.exportDiff(node, neighbor, p)
+		return true
+	})
+	for _, p := range stale {
+		n.exportDiff(node, neighbor, p)
 	}
 }
 
@@ -533,14 +594,22 @@ func (n *Network) refreshExports(node, neighbor topology.NodeID) {
 func (n *Network) advertiseAll(node, neighbor topology.NodeID) {
 	r := n.routers[node]
 	if r.external {
-		for _, ann := range r.originated {
-			n.sendExternalAnnouncement(node, neighbor, ann)
+		// Sorted order keeps the jitter draws — and so the whole
+		// execution — independent of map iteration order.
+		ps := make([]bgp.Prefix, 0, len(r.originated))
+		for p := range r.originated {
+			ps = append(ps, p)
+		}
+		slices.Sort(ps)
+		for _, p := range ps {
+			n.sendExternalAnnouncement(node, neighbor, r.originated[p])
 		}
 		return
 	}
-	for _, p := range r.locRib.Prefixes() {
+	r.locRib.Range(func(p bgp.Prefix, _ bgp.Route) bool {
 		n.exportDiff(node, neighbor, p)
-	}
+		return true
+	})
 }
 
 func (n *Network) exportDiff(node, neighbor topology.NodeID, prefix bgp.Prefix) {
@@ -548,19 +617,20 @@ func (n *Network) exportDiff(node, neighbor topology.NodeID, prefix bgp.Prefix) 
 	if r.external {
 		return
 	}
-	want, ok := r.exportTo(neighbor, prefix)
-	sent, wasSent := r.adjOut[neighbor][prefix]
+	want, ok := r.exportTo(neighbor, prefix, n.arena)
+	var sent bgp.Route
+	wasSent := false
+	if out := r.adjOut[neighbor]; out != nil {
+		sent, wasSent = out.Get(prefix)
+	}
 	switch {
 	case ok && wasSent && routesIdentical(want, sent):
 		return
 	case ok:
-		if r.adjOut[neighbor] == nil {
-			r.adjOut[neighbor] = make(map[bgp.Prefix]bgp.Route)
-		}
-		r.adjOut[neighbor][prefix] = want
+		r.adjOutFor(neighbor).Set(want)
 		n.sendMsg(&message{kind: msgUpdate, from: node, to: neighbor, route: want})
 	case wasSent:
-		delete(r.adjOut[neighbor], prefix)
+		r.adjOut[neighbor].Delete(prefix)
 		n.sendMsg(&message{kind: msgWithdraw, from: node, to: neighbor, prefix: prefix})
 	}
 }
@@ -630,16 +700,19 @@ func (n *Network) RoutingState(prefix bgp.Prefix) ([]bgp.Route, []bool) {
 	return routes, have
 }
 
-// TableEntries returns the current network-wide Adj-RIB-In entry count.
-func (n *Network) TableEntries() int {
-	total := 0
+// TableEntries returns the current network-wide Adj-RIB-In entry count
+// over internal routers, maintained incrementally — O(1).
+func (n *Network) TableEntries() int { return n.tableEntries }
+
+// recountTableEntries rebuilds the incremental counter from the routers,
+// used after wholesale state replacement (RestoreState).
+func (n *Network) recountTableEntries() {
+	n.tableEntries = 0
 	for _, r := range n.routers {
-		if r.external {
-			continue
+		if !r.external {
+			n.tableEntries += r.adjIn.Size()
 		}
-		total += r.adjIn.Size()
 	}
-	return total
 }
 
 // MaxTableEntries returns the maximum table size observed so far (§7.3).
@@ -740,10 +813,11 @@ func (n *Network) Clone() *Network {
 	}
 	c := New(n.graph, n.opts)
 	c.now = n.now
+	c.tableEntries = n.tableEntries
 	for i, r := range n.routers {
 		cr := c.routers[i]
-		for k, v := range r.sessions {
-			cr.sessions[k] = v
+		for _, nb := range r.neighbors() {
+			cr.setSession(nb, r.sessions[nb])
 		}
 		for dir, byNb := range r.maps {
 			for nb, rm := range byNb {
@@ -756,22 +830,12 @@ func (n *Network) Clone() *Network {
 				}
 			}
 		}
-		for _, p := range r.adjIn.Prefixes() {
-			for _, nr := range r.adjIn.NeighborCandidates(p) {
-				cr.adjIn.Set(nr.Neighbor, nr.Route)
-			}
-		}
-		for _, p := range r.locRib.Prefixes() {
-			if rt, ok := r.locRib.Get(p); ok {
-				cr.locRib.Set(rt)
-			}
-		}
-		for nb, m := range r.adjOut {
-			cm := make(map[bgp.Prefix]bgp.Route, len(m))
-			for p, rt := range m {
-				cm[p] = rt
-			}
-			cr.adjOut[nb] = cm
+		// Table clones share unchanged subtrees on the COW engine and
+		// deep-copy on the map engine.
+		cr.adjIn = r.adjIn.Clone()
+		cr.locRib = r.locRib.Clone()
+		for nb, t := range r.adjOut {
+			cr.adjOut[nb] = t.Clone()
 		}
 		for p, a := range r.originated {
 			cr.originated[p] = a

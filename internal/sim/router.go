@@ -11,9 +11,13 @@ import (
 type router struct {
 	id       topology.NodeID
 	external bool
+	kind     bgp.TableKind
 
-	// sessions maps each BGP neighbor to this router's role towards it.
+	// sessions maps each BGP neighbor to this router's role towards it;
+	// nbrs mirrors its key set sorted, so the hot per-prefix propagation
+	// loop never re-sorts.
 	sessions map[topology.NodeID]bgp.SessionKind
+	nbrs     []topology.NodeID
 
 	// Route maps, per direction and neighbor.
 	maps map[Direction]map[topology.NodeID]*RouteMap
@@ -23,7 +27,7 @@ type router struct {
 
 	// adjOut records the last route sent to each neighbor per prefix, so
 	// exports can be diffed and withdrawals generated.
-	adjOut map[topology.NodeID]map[bgp.Prefix]bgp.Route
+	adjOut map[topology.NodeID]bgp.RIB
 
 	// originated holds the announcements of an external network.
 	originated map[bgp.Prefix]Announcement
@@ -39,20 +43,53 @@ type Announcement struct {
 	MED       uint32
 }
 
-func newRouter(id topology.NodeID, external bool) *router {
+func newRouter(id topology.NodeID, external bool, kind bgp.TableKind) *router {
 	return &router{
 		id:       id,
 		external: external,
+		kind:     kind,
 		sessions: make(map[topology.NodeID]bgp.SessionKind),
 		maps: map[Direction]map[topology.NodeID]*RouteMap{
 			In:  make(map[topology.NodeID]*RouteMap),
 			Out: make(map[topology.NodeID]*RouteMap),
 		},
-		adjIn:      bgp.NewAdjIn(),
-		locRib:     bgp.NewLocRIB(),
-		adjOut:     make(map[topology.NodeID]map[bgp.Prefix]bgp.Route),
+		adjIn:      bgp.NewAdjInKind(kind),
+		locRib:     bgp.NewLocRIBKind(kind),
+		adjOut:     make(map[topology.NodeID]bgp.RIB),
 		originated: make(map[bgp.Prefix]Announcement),
 	}
+}
+
+// setSession records (or re-types) the session towards peer, keeping the
+// sorted neighbor cache in sync.
+func (r *router) setSession(peer topology.NodeID, kind bgp.SessionKind) {
+	if _, ok := r.sessions[peer]; !ok {
+		i, _ := slices.BinarySearch(r.nbrs, peer)
+		r.nbrs = slices.Insert(r.nbrs, i, peer)
+	}
+	r.sessions[peer] = kind
+}
+
+// dropSession removes the session towards peer from the map and the cache.
+func (r *router) dropSession(peer topology.NodeID) {
+	if _, ok := r.sessions[peer]; !ok {
+		return
+	}
+	delete(r.sessions, peer)
+	if i, ok := slices.BinarySearch(r.nbrs, peer); ok {
+		r.nbrs = slices.Delete(r.nbrs, i, i+1)
+	}
+}
+
+// adjOutFor returns the Adj-RIB-Out table towards peer, creating it on
+// first use.
+func (r *router) adjOutFor(peer topology.NodeID) bgp.RIB {
+	t := r.adjOut[peer]
+	if t == nil {
+		t = bgp.NewRIB(r.kind)
+		r.adjOut[peer] = t
+	}
+	return t
 }
 
 func (r *router) routeMap(dir Direction, neighbor topology.NodeID) *RouteMap {
@@ -68,27 +105,21 @@ func (r *router) ensureRouteMap(dir Direction, neighbor topology.NodeID) *RouteM
 	return rm
 }
 
-// neighbors returns the router's BGP neighbors sorted by ID.
-func (r *router) neighbors() []topology.NodeID {
-	out := make([]topology.NodeID, 0, len(r.sessions))
-	for n := range r.sessions {
-		out = append(out, n)
-	}
-	slices.Sort(out)
-	return out
-}
+// neighbors returns the router's BGP neighbors sorted by ID. The slice is
+// the router's cache: callers must not mutate or retain it across session
+// changes.
+func (r *router) neighbors() []topology.NodeID { return r.nbrs }
 
 // ingressCandidates applies ingress policy to every Adj-RIB-In entry for
 // prefix and returns the admitted routes.
 func (r *router) ingressCandidates(prefix bgp.Prefix) []bgp.Route {
 	var out []bgp.Route
-	for _, nr := range r.adjIn.NeighborCandidates(prefix) {
-		route, ok := r.routeMap(In, nr.Neighbor).Apply(nr.Neighbor, nr.Route)
-		if !ok {
-			continue
+	r.adjIn.RangeCandidates(prefix, func(nb topology.NodeID, raw bgp.Route) bool {
+		if route, ok := r.routeMap(In, nb).Apply(nb, raw); ok {
+			out = append(out, route)
 		}
-		out = append(out, route)
-	}
+		return true
+	})
 	return out
 }
 
@@ -112,8 +143,10 @@ func (r *router) acceptable(route bgp.Route) bool {
 
 // exportTo computes the route this router would advertise to neighbor for
 // prefix, applying the iBGP/eBGP/route-reflection export rules and the
-// egress route map. ok is false if nothing may be advertised.
-func (r *router) exportTo(neighbor topology.NodeID, prefix bgp.Prefix) (bgp.Route, bool) {
+// egress route map. ok is false if nothing may be advertised. Path storage
+// for the extended route comes from arena (nil falls back to plain
+// allocation).
+func (r *router) exportTo(neighbor topology.NodeID, prefix bgp.Prefix, arena *bgp.PathArena) (bgp.Route, bool) {
 	best, have := r.locRib.Get(prefix)
 	if !have {
 		return bgp.Route{}, false
@@ -160,7 +193,7 @@ func (r *router) exportTo(neighbor topology.NodeID, prefix bgp.Prefix) (bgp.Rout
 		}
 	}
 
-	out := best.Extend(neighbor)
+	out := best.ExtendIn(arena, neighbor)
 	if toKind == bgp.EBGP {
 		// LOCAL_PREF is not propagated over eBGP; AS path grows.
 		out.LocalPref = bgp.DefaultLocalPref

@@ -144,34 +144,30 @@ func captureRouter(r *router) RouterState {
 			})
 		}
 	}
-	for _, p := range r.adjIn.Prefixes() {
-		for _, nr := range r.adjIn.NeighborCandidates(p) {
-			rs.AdjIn = append(rs.AdjIn, NeighborRouteState{Neighbor: nr.Neighbor, Route: nr.Route})
-		}
-	}
-	for _, p := range r.locRib.Prefixes() {
-		if rt, ok := r.locRib.Get(p); ok {
-			rs.LocRIB = append(rs.LocRIB, rt)
-		}
-	}
+	r.adjIn.RangePrefixes(func(p bgp.Prefix) bool {
+		r.adjIn.RangeCandidates(p, func(nb topology.NodeID, rt bgp.Route) bool {
+			rs.AdjIn = append(rs.AdjIn, NeighborRouteState{Neighbor: nb, Route: rt})
+			return true
+		})
+		return true
+	})
+	r.locRib.Range(func(_ bgp.Prefix, rt bgp.Route) bool {
+		rs.LocRIB = append(rs.LocRIB, rt)
+		return true
+	})
 	var outNbs []topology.NodeID
 	for nb, m := range r.adjOut {
-		if len(m) > 0 {
+		if m.Len() > 0 {
 			outNbs = append(outNbs, nb)
 		}
 	}
 	sort.Slice(outNbs, func(i, j int) bool { return outNbs[i] < outNbs[j] })
 	for _, nb := range outNbs {
-		m := r.adjOut[nb]
-		var ps []bgp.Prefix
-		for p := range m {
-			ps = append(ps, p)
-		}
-		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
 		ao := AdjOutState{Neighbor: nb}
-		for _, p := range ps {
-			ao.Routes = append(ao.Routes, m[p])
-		}
+		r.adjOut[nb].Range(func(_ bgp.Prefix, rt bgp.Route) bool {
+			ao.Routes = append(ao.Routes, rt)
+			return true
+		})
 		rs.AdjOut = append(rs.AdjOut, ao)
 	}
 	var ops []bgp.Prefix
@@ -213,9 +209,9 @@ func (n *Network) RestoreState(st *NetState) error {
 		}
 	}
 	for i, rs := range st.Routers {
-		r := newRouter(rs.ID, rs.External)
+		r := newRouter(rs.ID, rs.External, n.opts.RIB)
 		for _, s := range rs.Sessions {
-			r.sessions[s.Peer] = s.Kind
+			r.setSession(s.Peer, s.Kind)
 		}
 		for _, rm := range rs.RouteMaps {
 			m := r.ensureRouteMap(rm.Dir, rm.Neighbor)
@@ -230,11 +226,10 @@ func (n *Network) RestoreState(st *NetState) error {
 			r.locRib.Set(rt)
 		}
 		for _, ao := range rs.AdjOut {
-			m := make(map[bgp.Prefix]bgp.Route, len(ao.Routes))
+			t := r.adjOutFor(ao.Neighbor)
 			for _, rt := range ao.Routes {
-				m[rt.Prefix] = rt
+				t.Set(rt)
 			}
-			r.adjOut[ao.Neighbor] = m
 		}
 		for _, o := range rs.Originated {
 			r.originated[o.Prefix] = o.Announcement
@@ -253,5 +248,6 @@ func (n *Network) RestoreState(st *NetState) error {
 	n.dirty = make(map[bgp.Prefix]bool)
 	n.pendingCmds = nil
 	n.lastDelivery = make(map[sessKey]time.Duration)
+	n.recountTableEntries()
 	return nil
 }
