@@ -90,12 +90,14 @@ func TestClassPartition(t *testing.T) {
 }
 
 // TestClassWorkerInvariance: planning the same scenario at parallelism 1,
-// 4 and NumCPU yields byte-identical trace dumps and identical plans —
-// workers change wall-clock time, never the output.
+// 4 and NumCPU yields byte-identical trace dumps and identical plans, and
+// executing each plan under the transient-state monitor yields
+// byte-identical provenance-annotated violation timelines — workers change
+// wall-clock time, never the output.
 func TestClassWorkerInvariance(t *testing.T) {
 	type out struct {
-		trace, metrics string
-		r              *chameleon.Reconfiguration
+		trace, metrics, timeline string
+		r                        *chameleon.Reconfiguration
 	}
 	dump := func(par int) out {
 		s := multiClassScenario(t)
@@ -115,7 +117,17 @@ func TestClassWorkerInvariance(t *testing.T) {
 		if err := rec.WriteMetrics(&m); err != nil {
 			t.Fatal(err)
 		}
-		return out{tr.String(), m.String(), r}
+		mon := chameleon.NewMonitor(chameleon.MonitorConfig{
+			Name: "exec", Invariants: chameleon.DefaultInvariants(s.Graph),
+		})
+		if _, err := r.ExecuteCtx(context.Background(), chameleon.ExecOptions{Monitor: mon}); err != nil {
+			t.Fatalf("parallelism %d: execute: %v", par, err)
+		}
+		var tl bytes.Buffer
+		if err := mon.Timeline().WriteJSONL(&tl); err != nil {
+			t.Fatal(err)
+		}
+		return out{tr.String(), m.String(), tl.String(), r}
 	}
 	base := dump(1)
 	for _, par := range []int{4, runtime.NumCPU()} {
@@ -126,6 +138,10 @@ func TestClassWorkerInvariance(t *testing.T) {
 		if got.metrics != base.metrics {
 			t.Errorf("parallelism %d: metric dump differs from sequential run:\n%s\nvs\n%s",
 				par, got.metrics, base.metrics)
+		}
+		if got.timeline != base.timeline {
+			t.Errorf("parallelism %d: provenance-annotated timeline differs from sequential run:\n%s\nvs\n%s",
+				par, got.timeline, base.timeline)
 		}
 		if g, b := renderPlans(got.r), renderPlans(base.r); g != b {
 			t.Errorf("parallelism %d: plans differ from sequential run:\n%s\nvs\n%s", par, g, b)

@@ -49,7 +49,7 @@ var (
 	filterFlag    = flag.String("filter", "", "run only benchmarks whose name contains this substring")
 	costFlag      = flag.Bool("cost", false, "enable span cost attribution and emit a flame digest per benchmark")
 	listFlag      = flag.Bool("list", false, "list the suite and exit")
-	serveFlag     = flag.String("serve", "", "serve live /metrics (Prometheus text format), /healthz and /debug/pprof on this address while running")
+	serveFlag     = flag.String("serve", "", "serve live /metrics (Prometheus text format), /healthz and /debug/pprof on this address while running (\":0\" picks an ephemeral port; the bound address is printed)")
 	compareFlag   = flag.Bool("compare", false, "compare two BENCH files: benchrunner -compare old.json new.json")
 	thresholdFlag = flag.Float64("threshold", 0.10, "base relative slowdown tolerated by -compare")
 	noiseKFlag    = flag.Float64("noise-k", 3, "noise widening factor for -compare (K·(oldMAD+newMAD)/oldMedian)")
@@ -115,10 +115,14 @@ func run() error {
 				live.Add(name, v)
 			}
 		})
-		obs.Serve(*serveFlag, live, obs.PromOptions{
+		_, bound, err := obs.Serve(*serveFlag, live, obs.PromOptions{
 			ConstLabels: map[string]string{"job": "benchrunner"},
 		}, func(err error) { fmt.Fprintln(os.Stderr, "metrics server:", err) })
-		fmt.Printf("(live metrics on http://%s/metrics, pprof on /debug/pprof/)\n", *serveFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics server:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(live metrics on http://%s/metrics, pprof on /debug/pprof/)\n", bound)
 	}
 	if len(observers) > 0 {
 		cfg.Observer = func(bench string, rep int, rec *obs.Recorder) {

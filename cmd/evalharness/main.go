@@ -24,13 +24,19 @@
 //
 // Observability: -trace FILE writes a structured span trace (JSONL, one
 // span per line, deterministic bytes for deterministic runs) of every
-// instrumented stage; -metrics FILE writes the final counter/gauge dump;
-// -timeline FILE writes the transient-state monitor's violation timelines
-// (JSONL, validated after writing, byte-identical across re-runs and
-// worker counts) for the monitored runs (-smoke, -fig 1); -pprof ADDR
-// serves net/http/pprof for live profiling; -serve ADDR serves the live
-// counter/gauge state as Prometheus text format on /metrics (plus /healthz
-// and /debug/pprof) while a long sweep is in flight. The process exits nonzero if
+// instrumented stage; -metrics FILE writes the final
+// counter/gauge/histogram dump; -timeline FILE writes the transient-state
+// monitor's violation timelines (JSONL, with per-violation root-cause
+// records, validated after writing, byte-identical across re-runs and
+// worker counts) for the monitored runs (-smoke, -fig 1); -explain FILE
+// (or "-") renders the human-readable causal chain of every monitored
+// violation; -pprof ADDR serves net/http/pprof for live profiling;
+// -serve ADDR serves the live counter/gauge/histogram state as Prometheus
+// text format on /metrics plus a live span/violation feed on /events
+// (chunked JSONL; ?sse=1 for SSE framing, ?follow=0 for backlog-only),
+// /healthz and /debug/pprof while a long sweep is in flight — ":0" picks
+// an ephemeral port and the bound address is printed; -linger DUR keeps
+// those endpoints up after the runs finish. The process exits nonzero if
 // any sweep's per-scenario run errored, so partially failed sweeps cannot
 // look green in CI.
 //
@@ -87,7 +93,9 @@ var (
 	metricsFlag  = flag.String("metrics", "", "write the final counter/gauge dump to this file")
 	timelineFlag = flag.String("timeline", "", "write the transient-state monitor's violation timelines (JSONL) to this file")
 	pprofFlag    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-	serveFlag    = flag.String("serve", "", "serve live /metrics (Prometheus text format), /healthz and /debug/pprof on this address while the run is in flight")
+	serveFlag    = flag.String("serve", "", "serve live /metrics (Prometheus text format), /events (live span/violation stream), /healthz and /debug/pprof on this address while the run is in flight (\":0\" picks an ephemeral port; the bound address is printed)")
+	explainFlag  = flag.String("explain", "", "write a human-readable root-cause report of every monitored violation to this file (\"-\" for stdout)")
+	lingerFlag   = flag.Duration("linger", 0, "keep the -serve endpoints alive for this long after the runs finish (CI smoke curls them)")
 	smokeFlag    = flag.Bool("smoke", false, "run one traced RunningExample reconfiguration and validate the span tree (CI gate)")
 )
 
@@ -98,6 +106,11 @@ var (
 	recorder *obs.Recorder
 	runCtx   = context.Background()
 )
+
+// eventStream broadcasts spans and monitor violations to /events
+// subscribers when -serve is active; nil otherwise (publishing to a nil
+// stream is a no-op, so monitored runs pass it through unconditionally).
+var eventStream *obs.Stream
 
 // sweepRunErrs counts per-scenario errors inside otherwise-successful
 // sweeps; a nonzero count fails the process at exit (satisfying "a sweep
@@ -112,6 +125,7 @@ var timelines []*monitor.Timeline
 // exit path.
 func writeObsArtifacts() {
 	writeTimelines()
+	writeExplain()
 	if recorder == nil {
 		return
 	}
@@ -180,6 +194,37 @@ func writeTimelines() {
 	fmt.Printf("(wrote %s: %d records, validated)\n", *timelineFlag, len(recs))
 }
 
+// writeExplain renders the -explain root-cause report: every monitored
+// violation with its causal chain (originating command or event, phase,
+// hop depth, blame latency), in execution order.
+func writeExplain() {
+	if *explainFlag == "" {
+		return
+	}
+	if len(timelines) == 0 {
+		fmt.Fprintln(os.Stderr, "writing explain report: no monitored run produced a timeline (-explain needs -smoke or -fig 1)")
+		sweepRunErrs++
+		return
+	}
+	if *explainFlag == "-" {
+		fmt.Println()
+		if err := monitor.WriteExplain(os.Stdout, timelines...); err != nil {
+			fmt.Fprintln(os.Stderr, "writing explain report:", err)
+			sweepRunErrs++
+		}
+		return
+	}
+	err := writeFile(*explainFlag, func(w io.Writer) error {
+		return monitor.WriteExplain(w, timelines...)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "writing explain report:", err)
+		sweepRunErrs++
+		return
+	}
+	fmt.Printf("(wrote %s)\n", *explainFlag)
+}
+
 // validateTraceFile re-reads an emitted JSONL trace and runs the
 // well-formedness checker over it, returning the span count.
 func validateTraceFile(path string) (int, error) {
@@ -239,10 +284,17 @@ func main() {
 		runCtx = obs.WithRecorder(runCtx, recorder)
 	}
 	if *serveFlag != "" {
-		obs.Serve(*serveFlag, recorder, obs.PromOptions{
-			ConstLabels: map[string]string{"job": "evalharness"},
+		eventStream = obs.NewStream(obs.DefaultStreamCapacity)
+		recorder.SetStream(eventStream)
+		_, bound, err := obs.ServeWith(*serveFlag, recorder, obs.ServeOptions{
+			Prom:   obs.PromOptions{ConstLabels: map[string]string{"job": "evalharness"}},
+			Stream: eventStream,
 		}, func(err error) { fmt.Fprintln(os.Stderr, "metrics server:", err) })
-		fmt.Printf("(live metrics on http://%s/metrics, pprof on /debug/pprof/)\n", *serveFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "metrics server:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(live metrics on http://%s/metrics, events on /events, pprof on /debug/pprof/)\n", bound)
 	}
 
 	ran := false
@@ -309,6 +361,10 @@ func main() {
 		os.Exit(2)
 	}
 	writeObsArtifacts()
+	if *lingerFlag > 0 && *serveFlag != "" {
+		fmt.Printf("(lingering %v for live endpoint probes)\n", *lingerFlag)
+		time.Sleep(*lingerFlag)
+	}
 	if sweepRunErrs > 0 {
 		fmt.Fprintf(os.Stderr, "%d sweep run(s) errored\n", sweepRunErrs)
 		os.Exit(1)
@@ -327,6 +383,7 @@ func smoke() error {
 		Name:       "smoke",
 		Invariants: chameleon.DefaultInvariants(s.Graph),
 		Recorder:   recorder,
+		Stream:     eventStream,
 	})
 	rec, err := chameleon.PlanCtx(runCtx, s, chameleon.PlanOptions{Monitor: mon})
 	if err != nil {
@@ -430,7 +487,7 @@ func durSecondsOf(label string, r *eval.CaseStudyResult) float64 {
 }
 
 func fig1() error {
-	r, err := eval.RunCaseStudy("Abilene", *seedFlag)
+	r, err := eval.RunCaseStudyCtx(runCtx, "Abilene", *seedFlag)
 	if err != nil {
 		return err
 	}
@@ -457,7 +514,7 @@ func fig1() error {
 }
 
 func fig6() error {
-	r, err := eval.RunCaseStudy("Abilene", *seedFlag)
+	r, err := eval.RunCaseStudyCtx(runCtx, "Abilene", *seedFlag)
 	if err != nil {
 		return err
 	}
@@ -621,7 +678,7 @@ func fig11b() error {
 
 func fig12() error {
 	for _, name := range []string{"Compuserve", "HiberniaCanada", "Sprint", "JGN2plus", "EEnet"} {
-		r, err := eval.RunCaseStudy(name, *seedFlag)
+		r, err := eval.RunCaseStudyCtx(runCtx, name, *seedFlag)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}

@@ -196,10 +196,6 @@ func TestAdjIn(t *testing.T) {
 	if got, ok := a.Get(0, 0); !ok || !got.PathEqual(r1) {
 		t.Error("Get(0) mismatch")
 	}
-	cands := a.Candidates(0)
-	if len(cands) != 2 {
-		t.Fatalf("Candidates = %v", cands)
-	}
 	nrs := a.NeighborCandidates(0)
 	if len(nrs) != 2 || nrs[0].Neighbor != 0 || nrs[1].Neighbor != 2 {
 		t.Fatalf("NeighborCandidates = %v", nrs)
@@ -213,9 +209,13 @@ func TestAdjIn(t *testing.T) {
 	if a.Size() != 1 {
 		t.Errorf("Size after withdraw = %d", a.Size())
 	}
-	dropped := a.DropNeighbor(2)
+	var dropped []Prefix
+	a.DropNeighborRange(2, func(p Prefix) bool {
+		dropped = append(dropped, p)
+		return true
+	})
 	if len(dropped) != 1 || dropped[0] != 0 {
-		t.Errorf("DropNeighbor = %v", dropped)
+		t.Errorf("DropNeighborRange = %v", dropped)
 	}
 	if a.Size() != 0 {
 		t.Errorf("Size after drop = %d", a.Size())

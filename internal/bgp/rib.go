@@ -201,20 +201,6 @@ func (a *AdjIn) DropNeighborRange(neighbor topology.NodeID, fn func(Prefix) bool
 	}
 }
 
-// DropNeighbor removes all state from the given neighbor and returns the
-// prefixes that lost a route, sorted.
-//
-// Deprecated: it allocates the result slice on every teardown; use
-// DropNeighborRange.
-func (a *AdjIn) DropNeighbor(neighbor topology.NodeID) []Prefix {
-	var prefixes []Prefix
-	a.DropNeighborRange(neighbor, func(p Prefix) bool {
-		prefixes = append(prefixes, p)
-		return true
-	})
-	return prefixes
-}
-
 // RangeCandidates calls fn with every (neighbor, route) pair known for
 // prefix, in ascending neighbor order, until fn returns false.
 // Allocation-free.
@@ -226,17 +212,6 @@ func (a *AdjIn) RangeCandidates(prefix Prefix, fn func(topology.NodeID, Route) b
 			}
 		}
 	}
-}
-
-// Candidates returns all routes currently known for prefix, sorted by
-// advertising neighbor for determinism.
-func (a *AdjIn) Candidates(prefix Prefix) []Route {
-	var out []Route
-	a.RangeCandidates(prefix, func(_ topology.NodeID, r Route) bool {
-		out = append(out, r)
-		return true
-	})
-	return out
 }
 
 // NeighborRoute pairs a route with the neighbor that announced it.
@@ -269,19 +244,6 @@ func (a *AdjIn) RangeNeighbor(neighbor topology.NodeID, fn func(Prefix, Route) b
 // walk is allocation-free; the map engine keeps its historical
 // sort-a-fresh-slice cost.
 func (a *AdjIn) RangePrefixes(fn func(Prefix) bool) { a.index.walk(fn) }
-
-// Prefixes returns all prefixes with at least one candidate route, sorted.
-//
-// Deprecated: it allocates the result slice on every walk; use
-// RangePrefixes.
-func (a *AdjIn) Prefixes() []Prefix {
-	var out []Prefix
-	a.RangePrefixes(func(p Prefix) bool {
-		out = append(out, p)
-		return true
-	})
-	return out
-}
 
 // Neighbors returns the neighbors with Adj-RIB-In state, sorted. The
 // returned slice is the AdjIn's own and must not be mutated.
@@ -334,18 +296,6 @@ func (l *LocRIB) Clear(prefix Prefix) { l.t.Delete(prefix) }
 // prefix order until fn returns false. On the COW engine the walk is
 // allocation-free.
 func (l *LocRIB) Range(fn func(Prefix, Route) bool) { l.t.Range(fn) }
-
-// Prefixes returns all prefixes with a selection, sorted.
-//
-// Deprecated: it allocates the result slice on every walk; use Range.
-func (l *LocRIB) Prefixes() []Prefix {
-	out := make([]Prefix, 0, l.t.Len())
-	l.t.Range(func(p Prefix, _ Route) bool {
-		out = append(out, p)
-		return true
-	})
-	return out
-}
 
 // Size returns the number of selected routes.
 func (l *LocRIB) Size() int { return l.t.Len() }

@@ -177,7 +177,12 @@ func TestAdjInRangeAndClone(t *testing.T) {
 		if a.Size() != 3 {
 			t.Fatalf("%v: size %d want 3", kind, a.Size())
 		}
-		if got := a.Prefixes(); !reflect.DeepEqual(got, []Prefix{10, 20}) {
+		var got []Prefix
+		a.RangePrefixes(func(p Prefix) bool {
+			got = append(got, p)
+			return true
+		})
+		if !reflect.DeepEqual(got, []Prefix{10, 20}) {
 			t.Fatalf("%v: prefixes %v", kind, got)
 		}
 		var nbrs []topology.NodeID

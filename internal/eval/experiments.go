@@ -133,6 +133,17 @@ func waypointRules(a *analyzer.Analysis, e1 topology.NodeID) map[topology.NodeID
 // topology: the same reconfiguration applied once via Snowcap (direct) and
 // once via Chameleon, with packet-level measurement of both runs.
 func RunCaseStudy(name string, seed uint64) (*CaseStudyResult, error) {
+	return RunCaseStudyCtx(context.Background(), name, seed)
+}
+
+// RunCaseStudyCtx is RunCaseStudy with observability threading: a recorder
+// carried by ctx (obs.WithRecorder) receives both monitors' counters and
+// histogram samples (blame latency, violation duration, hop depth), and
+// the recorder's event stream, if any, gets a live record per violation.
+// The result and both timelines are byte-identical with or without a
+// recorder attached — histograms and streams are observation-only.
+func RunCaseStudyCtx(ctx context.Context, name string, seed uint64) (*CaseStudyResult, error) {
+	rec := obs.RecorderFrom(ctx)
 	out := &CaseStudyResult{Topology: name}
 
 	// Snowcap run.
@@ -148,6 +159,8 @@ func RunCaseStudy(name string, seed uint64) (*CaseStudyResult, error) {
 	mSnow := monitor.New(monitor.Config{
 		Name:       "snowcap",
 		Invariants: caseStudyInvariants(sSnow, aSnow),
+		Recorder:   rec,
+		Stream:     rec.EventStream(),
 	})
 	snowRes, err := snowcap.ApplyMonitored(sSnow.Net, sSnow.Prefix, sSnow.Commands,
 		[]int{0}, 1700*time.Millisecond, mSnow)
@@ -175,6 +188,8 @@ func RunCaseStudy(name string, seed uint64) (*CaseStudyResult, error) {
 	mCham := monitor.New(monitor.Config{
 		Name:       "chameleon",
 		Invariants: caseStudyInvariants(sCham, pl.Analysis),
+		Recorder:   rec,
+		Stream:     rec.EventStream(),
 	})
 	ro := runtime.DefaultOptions(seed)
 	ro.PhaseObserver = mCham.SetPhase

@@ -74,7 +74,45 @@ func TestCaseStudyTimelineByteIdentical(t *testing.T) {
 	if c1 != c2 {
 		t.Errorf("timeline CSV differs across identical runs:\n%s\nvs\n%s", c1, c2)
 	}
-	if !strings.HasPrefix(c1, "run,kind,invariant,prefix,start_s,end_s,duration_s,tick,phase,nodes,open\n") {
+	if !strings.HasPrefix(c1, "run,kind,invariant,prefix,start_s,end_s,duration_s,tick,phase,nodes,open,cause_kind,cause,hop_depth,blame_s\n") {
 		t.Errorf("unexpected timeline CSV header:\n%s", c1)
+	}
+}
+
+// TestCaseStudyViolationsCarryRootCause is the provenance acceptance gate:
+// every transient violation the monitor records during the Snowcap baseline
+// run is attributed to a registered root cause — here the reconfiguration
+// commands Snowcap pushes — with a well-formed blame record.
+func TestCaseStudyViolationsCarryRootCause(t *testing.T) {
+	r, err := RunCaseStudy("Abilene", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.SnowcapTimeline.Violations) == 0 {
+		t.Fatal("Snowcap timeline records no violations — nothing to attribute")
+	}
+	commands := 0
+	for i, v := range r.SnowcapTimeline.Violations {
+		c := v.Cause
+		if c.Kind == "" {
+			t.Errorf("violation %d (%s @ %v) has an empty cause kind", i, v.Invariant, v.Start)
+			continue
+		}
+		switch c.Kind {
+		case "command":
+			commands++
+			if c.Label == "" {
+				t.Errorf("violation %d: command cause without a description", i)
+			}
+			if c.Latency < 0 {
+				t.Errorf("violation %d: negative blame latency %v", i, c.Latency)
+			}
+		case "event", "init":
+		default:
+			t.Errorf("violation %d: unknown cause kind %q", i, c.Kind)
+		}
+	}
+	if commands == 0 {
+		t.Error("no violation blames a command — Snowcap's churn is command-driven")
 	}
 }

@@ -171,14 +171,16 @@ func SaveAllCSV(dir string, r *CaseStudyResult) error {
 }
 
 // WriteTimelineCSV writes the monitors' violation timelines: one row per
-// violation interval with onset, duration, blast radius and phase
-// attribution, preceded by one summary row per run. Timelines serialize in
+// violation interval with onset, duration, blast radius, phase and
+// root-cause attribution (originating command/event, BGP hop depth, blame
+// latency), preceded by one summary row per run. Timelines serialize in
 // the order given; violations keep their (deterministic) event order.
 func WriteTimelineCSV(w io.Writer, tls ...*monitor.Timeline) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
 		"run", "kind", "invariant", "prefix", "start_s", "end_s",
 		"duration_s", "tick", "phase", "nodes", "open",
+		"cause_kind", "cause", "hop_depth", "blame_s",
 	}); err != nil {
 		return err
 	}
@@ -191,6 +193,7 @@ func WriteTimelineCSV(w io.Writer, tls ...*monitor.Timeline) error {
 			formatF(tl.TotalViolation().Seconds()),
 			strconv.Itoa(tl.StatesChecked), "",
 			strconv.Itoa(len(tl.Violations)), "",
+			"", "", "", "",
 		}); err != nil {
 			return err
 		}
@@ -205,6 +208,8 @@ func WriteTimelineCSV(w io.Writer, tls ...*monitor.Timeline) error {
 				formatF(v.Duration().Seconds()),
 				strconv.FormatUint(v.StartTick, 10), v.Phase,
 				strings.Join(nodes, " "), strconv.FormatBool(v.Open),
+				v.Cause.Kind, v.Cause.Label,
+				strconv.Itoa(v.Cause.Hops), formatF(v.Cause.Latency.Seconds()),
 			}); err != nil {
 				return err
 			}

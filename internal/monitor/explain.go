@@ -1,0 +1,65 @@
+package monitor
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteExplain renders the causal chain of every violation in the given
+// timelines as a human-readable report: per timeline a summary line, then
+// per violation its interval, blast radius and phase, and the root-cause
+// record — which command or event set it off, how many BGP hops the churn
+// traveled and how long blame took to land. The output is a pure function
+// of the timelines (simulated time only), so reports are byte-identical
+// across re-runs; evalharness -explain writes this.
+func WriteExplain(w io.Writer, timelines ...*Timeline) error {
+	bw := bufio.NewWriter(w)
+	for ti, t := range timelines {
+		if ti > 0 {
+			fmt.Fprintln(bw)
+		}
+		fmt.Fprintf(bw, "timeline %s: %d violations, %.3fs total violation time, %d states checked\n",
+			t.Name, len(t.Violations), t.TotalViolation().Seconds(), t.StatesChecked)
+		for i, v := range t.Violations {
+			open := ""
+			if v.Open {
+				open = ", never recovered"
+			}
+			fmt.Fprintf(bw, "  #%d %s @ prefix %d: %.3fs–%.3fs (%.0fms%s)  phase=%s  nodes=%s\n",
+				i+1, v.Invariant, v.Prefix, v.Start.Seconds(), v.End.Seconds(),
+				float64(v.Duration().Milliseconds()), open, orDash(v.Phase), nodeList(&v))
+			switch v.Cause.Kind {
+			case "", "init":
+				fmt.Fprintf(bw, "     └─ no registered cause (initial convergence or direct mutation), hop depth %d\n",
+					v.Cause.Hops)
+			default:
+				fmt.Fprintf(bw, "     └─ %s %q (node %d, phase=%s, seq %d)\n",
+					v.Cause.Kind, v.Cause.Label, v.Cause.Node, orDash(v.Cause.Phase), v.Cause.Seq)
+				fmt.Fprintf(bw, "        fired %.3fs → onset after %.0fms over %d BGP hop(s)\n",
+					(v.Start - v.Cause.Latency).Seconds(),
+					float64(v.Cause.Latency.Milliseconds()), v.Cause.Hops)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func nodeList(v *Violation) string {
+	if len(v.Nodes) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(v.Nodes))
+	for i, n := range v.Nodes {
+		parts[i] = fmt.Sprintf("n%d", n)
+	}
+	return strings.Join(parts, ",")
+}

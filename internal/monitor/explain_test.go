@@ -1,0 +1,58 @@
+package monitor
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"chameleon/internal/topology"
+)
+
+// TestWriteExplainGolden pins the -explain report's exact rendering: the
+// per-timeline summary, the violation intervals, and both root-cause forms
+// (a rooted command with blame latency and hop depth; an unrooted initial
+// state).
+func TestWriteExplainGolden(t *testing.T) {
+	tl1 := &Timeline{
+		Name:          "snowcap",
+		StatesChecked: 37,
+		End:           5 * time.Second,
+		Violations: []Violation{
+			{Invariant: "reach", Prefix: 0,
+				Start: 1500 * time.Millisecond, End: 2750 * time.Millisecond,
+				Phase: "round 1", Nodes: []topology.NodeID{3, 4},
+				Cause: RootCause{Kind: "command", Label: "push rm", Node: 2,
+					Phase: "round 1", Seq: 2, Hops: 3, Latency: 250 * time.Millisecond}},
+			{Invariant: "loop-free", Prefix: 1,
+				Start: 4 * time.Second, End: 4500 * time.Millisecond, Open: true,
+				Cause: RootCause{Kind: "init"}},
+		},
+	}
+	tl2 := &Timeline{Name: "chameleon", StatesChecked: 38, End: 5 * time.Second}
+
+	var b bytes.Buffer
+	if err := WriteExplain(&b, tl1, tl2); err != nil {
+		t.Fatal(err)
+	}
+	want := `timeline snowcap: 2 violations, 1.750s total violation time, 37 states checked
+  #1 reach @ prefix 0: 1.500s–2.750s (1250ms)  phase=round 1  nodes=n3,n4
+     └─ command "push rm" (node 2, phase=round 1, seq 2)
+        fired 1.250s → onset after 250ms over 3 BGP hop(s)
+  #2 loop-free @ prefix 1: 4.000s–4.500s (500ms, never recovered)  phase=-  nodes=-
+     └─ no registered cause (initial convergence or direct mutation), hop depth 0
+
+timeline chameleon: 0 violations, 0.000s total violation time, 38 states checked
+`
+	if got := b.String(); got != want {
+		t.Errorf("explain report differs from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Byte-identical across renders (pure function of the timelines).
+	var b2 bytes.Buffer
+	if err := WriteExplain(&b2, tl1, tl2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("two renders of the same timelines differ")
+	}
+}

@@ -130,8 +130,15 @@ type Config struct {
 	// Recorder, when set, receives the monitor counters at Finish:
 	// monitor_states_checked, monitor_violations, monitor_violation_time_ns
 	// and one monitor_violations_<invariant> counter per violated
-	// invariant. Nil disables recording.
+	// invariant — plus, per closed violation, one sample in each of the
+	// blame-latency, violation-duration and hop-depth histograms. Nil
+	// disables recording.
 	Recorder *obs.Recorder
+	// Stream, when set, receives a live record per violation: one
+	// "violation_open" at onset and one "violation" (the final JSONL
+	// shape) at close. Observation-only; timelines are identical with or
+	// without it.
+	Stream *obs.Stream
 }
 
 // Monitor checks forwarding snapshots online and accumulates a violation
@@ -177,9 +184,17 @@ func (m *Monitor) Track(inv Invariant) {
 // attribution.
 func (m *Monitor) SetPhase(name string) { m.phase = name }
 
-// Observe checks one forwarding-state snapshot. Its signature matches
-// sim.SnapshotHook, so it can be installed directly (Bind does).
+// Observe checks one forwarding-state snapshot with no provenance (the
+// root cause comes out as "init"). Kept for direct callers; the simulator
+// hook is ObserveProvenance.
 func (m *Monitor) Observe(at time.Duration, prefix bgp.Prefix, st fwd.State) {
+	m.ObserveProvenance(at, prefix, st, sim.Provenance{})
+}
+
+// ObserveProvenance checks one forwarding-state snapshot, attributing any
+// violation it opens to the snapshot's causal root. Its signature matches
+// sim.SnapshotHook, so it can be installed directly (Bind does).
+func (m *Monitor) ObserveProvenance(at time.Duration, prefix bgp.Prefix, st fwd.State, prov sim.Provenance) {
 	m.tick++
 	m.statesChecked++
 	m.now = at
@@ -194,7 +209,7 @@ func (m *Monitor) Observe(at time.Duration, prefix bgp.Prefix, st fwd.State) {
 		case ok && v != nil:
 			m.closeViolation(idx, prefix, at)
 		case !ok && v == nil:
-			m.open = append(m.open, &Violation{
+			nv := &Violation{
 				Invariant: inv.Name,
 				Prefix:    prefix,
 				Start:     at,
@@ -202,14 +217,43 @@ func (m *Monitor) Observe(at time.Duration, prefix bgp.Prefix, st fwd.State) {
 				StartTick: m.tick,
 				Phase:     m.phase,
 				Nodes:     slices.Clone(affected),
-			})
+				Cause:     rootCause(at, prov),
+			}
+			m.open = append(m.open, nv)
 			m.openInv = append(m.openInv, idx)
+			if m.cfg.Stream != nil {
+				rec := violationRecord(m.cfg.Name, 0, nv)
+				rec.Type = "violation_open"
+				m.cfg.Stream.Publish(rec)
+			}
 		case !ok:
 			// Still violated: extend and widen the blast radius.
 			v.End = at
 			v.Nodes = mergeNodes(v.Nodes, affected)
 		}
 	}
+}
+
+// rootCause resolves a snapshot's provenance into the violation's
+// root-cause record. Unrooted snapshots (initial convergence, direct API
+// mutations) attribute to "init"; rooted ones carry the cause's identity
+// and the blame latency from the cause's firing to the onset.
+func rootCause(at time.Duration, prov sim.Provenance) RootCause {
+	if !prov.Rooted() {
+		return RootCause{Kind: sim.CauseNone.String(), Hops: prov.Hops}
+	}
+	rc := RootCause{
+		Kind:  prov.Cause.Kind.String(),
+		Label: prov.Cause.Label,
+		Node:  prov.Cause.Node,
+		Phase: prov.Cause.Phase,
+		Seq:   prov.Cause.Seq,
+		Hops:  prov.Hops,
+	}
+	if prov.Cause.At >= 0 && at > prov.Cause.At {
+		rc.Latency = at - prov.Cause.At
+	}
+	return rc
 }
 
 // findOpen returns the open violation for (invariant idx, prefix), if any.
@@ -223,7 +267,8 @@ func (m *Monitor) findOpen(idx int, prefix bgp.Prefix) *Violation {
 }
 
 // closeViolation moves the open violation for (idx, prefix) to the
-// timeline with the given end time.
+// timeline with the given end time, samples the violation histograms and
+// publishes the closed record to the live stream.
 func (m *Monitor) closeViolation(idx int, prefix bgp.Prefix, end time.Duration) {
 	for i, v := range m.open {
 		if m.openInv[i] != idx || v.Prefix != prefix {
@@ -233,6 +278,14 @@ func (m *Monitor) closeViolation(idx int, prefix bgp.Prefix, end time.Duration) 
 		m.timeline.Violations = append(m.timeline.Violations, *v)
 		m.open = slices.Delete(m.open, i, i+1)
 		m.openInv = slices.Delete(m.openInv, i, i+1)
+		if rec := m.cfg.Recorder; rec != nil {
+			rec.Observe(obs.HistViolationDuration, int64(v.Duration()))
+			rec.Observe(obs.HistBlameLatency, int64(v.Cause.Latency))
+			rec.Observe(obs.HistHopDepth, int64(v.Cause.Hops))
+		}
+		if m.cfg.Stream != nil {
+			m.cfg.Stream.Publish(violationRecord(m.cfg.Name, len(m.timeline.Violations), v))
+		}
 		return
 	}
 }
@@ -248,14 +301,14 @@ func mergeNodes(a, b []topology.NodeID) []topology.NodeID {
 	return a
 }
 
-// Bind installs the monitor's Observe as net's snapshot hook and anchors
-// the quiescence clock at the network's current time. It returns a detach
-// function restoring the previous (nil) hook; detach before observing
-// states that should not count, e.g. an Abort's teardown churn.
+// Bind installs the monitor's ObserveProvenance as net's snapshot hook and
+// anchors the quiescence clock at the network's current time. It returns a
+// detach function restoring the previous (nil) hook; detach before
+// observing states that should not count, e.g. an Abort's teardown churn.
 func (m *Monitor) Bind(net *sim.Network) func() {
 	m.lastChange = net.Now()
 	m.now = net.Now()
-	net.SetSnapshotHook(m.Observe)
+	net.SetSnapshotHook(m.ObserveProvenance)
 	return func() { net.SetSnapshotHook(nil) }
 }
 

@@ -190,9 +190,12 @@ func TestWriteJSONLByteIdenticalAndValid(t *testing.T) {
 		End:           5 * time.Second,
 		Violations: []Violation{
 			{Invariant: "reach", Prefix: 1, Start: 1 * time.Second, End: 2 * time.Second,
-				StartTick: 3, Phase: "round 1", Nodes: []topology.NodeID{0, 2}},
+				StartTick: 3, Phase: "round 1", Nodes: []topology.NodeID{0, 2},
+				Cause: RootCause{Kind: "command", Label: "withdraw old route",
+					Node: 4, Phase: "round 1", Seq: 2, Hops: 3, Latency: 250 * time.Millisecond}},
 			{Invariant: "loop-free", Prefix: 1, Start: 4 * time.Second, End: 5 * time.Second,
-				StartTick: 6, Phase: "cleanup", Nodes: []topology.NodeID{1}, Open: true},
+				StartTick: 6, Phase: "cleanup", Nodes: []topology.NodeID{1}, Open: true,
+				Cause: RootCause{Kind: "init"}},
 		},
 	}
 	var a, b bytes.Buffer
@@ -228,7 +231,8 @@ func TestWriteJSONLByteIdenticalAndValid(t *testing.T) {
 func TestValidateJSONLRejectsMalformed(t *testing.T) {
 	valid := func() string {
 		tl := &Timeline{Name: "run", Violations: []Violation{
-			{Invariant: "reach", Start: time.Second, End: 2 * time.Second, Nodes: []topology.NodeID{0, 1}},
+			{Invariant: "reach", Start: time.Second, End: 2 * time.Second, Nodes: []topology.NodeID{0, 1},
+				Cause: RootCause{Kind: "command", Label: "push route-map", Seq: 1}},
 		}}
 		var b bytes.Buffer
 		if err := tl.WriteJSONL(&b); err != nil {
@@ -246,6 +250,10 @@ func TestValidateJSONLRejectsMalformed(t *testing.T) {
 		"bad seq":              strings.Replace(valid, `"seq":1`, `"seq":7`, 1),
 		"bad duration":         strings.Replace(valid, `"duration_ns":1000000000`, `"duration_ns":5`, 1),
 		"unsorted nodes":       strings.Replace(valid, `"nodes":[0,1]`, `"nodes":[1,0]`, 1),
+		"missing cause kind":   strings.Replace(valid, `"cause_kind":"command",`, ``, 1),
+		"unknown cause kind":   strings.Replace(valid, `"cause_kind":"command"`, `"cause_kind":"ghost"`, 1),
+		"rooted without label": strings.Replace(valid, `"cause":"push route-map",`, ``, 1),
+		"negative blame":       strings.Replace(valid, `"blame_ns":0`, `"blame_ns":-7`, 1),
 	}
 	for name, in := range cases {
 		if _, err := ValidateJSONL(strings.NewReader(in)); err == nil {

@@ -12,10 +12,31 @@ import (
 	"chameleon/internal/topology"
 )
 
+// RootCause attributes a violation to the command or external event whose
+// BGP churn flipped the offending forwarding entry (the simulator's causal
+// provenance layer, sim/cause.go). Kind is "command", "event" or — for
+// state with no registered root, like initial bring-up convergence —
+// "init"; every violation carries a non-empty Kind.
+type RootCause struct {
+	Kind  string
+	Label string          // command description or event name
+	Node  topology.NodeID // command's target router
+	Phase string          // phase active when the cause was registered
+	Seq   uint64          // cause registration ordinal
+	// Hops is the BGP propagation depth at violation onset: how many
+	// message hops separate the root event from the state change that
+	// opened the violation.
+	Hops int
+	// Latency is the blame latency: simulated time from the root cause
+	// firing (command applied, event executed) to the violation's onset.
+	Latency time.Duration
+}
+
 // Violation is one maximal interval during which one invariant was
 // violated for one prefix: [Start, End) in simulated time. Nodes is the
 // union of all routers affected at any point of the interval (the blast
-// radius); Phase is the execution phase active at onset.
+// radius); Phase is the execution phase active at onset; Cause is the
+// causal attribution of the snapshot that opened the interval.
 type Violation struct {
 	Invariant string
 	Prefix    bgp.Prefix
@@ -24,6 +45,7 @@ type Violation struct {
 	StartTick uint64
 	Phase     string
 	Nodes     []topology.NodeID
+	Cause     RootCause
 	// Open marks a violation that never recovered before the monitor
 	// finished (its End is the finish time, not a recovery).
 	Open bool
@@ -114,6 +136,19 @@ type Record struct {
 	Nodes     []int  `json:"nodes,omitempty"`
 	Open      bool   `json:"open,omitempty"`
 
+	// Root-cause attribution ("violation" records only). CauseKind is
+	// always present on violations ("command" | "event" | "init"); the
+	// remaining fields are pointers so zero values (node 0, seq 0, hop
+	// depth 0, zero blame latency) survive while summary records omit
+	// them. CauseNode and CauseSeq appear only on rooted causes.
+	CauseKind  string  `json:"cause_kind,omitempty"`
+	Cause      string  `json:"cause,omitempty"`
+	CauseNode  *int    `json:"cause_node,omitempty"`
+	CausePhase string  `json:"cause_phase,omitempty"`
+	CauseSeq   *uint64 `json:"cause_seq,omitempty"`
+	HopDepth   *int    `json:"hop_depth,omitempty"`
+	BlameNS    *int64  `json:"blame_ns,omitempty"`
+
 	// Summary fields ("timeline" records only). Violations and ViolationNS
 	// are pointers so a summary always carries them (even when zero) while
 	// violation records omit them.
@@ -140,28 +175,44 @@ func (t *Timeline) WriteJSONL(w io.Writer) error {
 		return err
 	}
 	for i, v := range t.Violations {
-		nodes := make([]int, len(v.Nodes))
-		for j, n := range v.Nodes {
-			nodes[j] = int(n)
-		}
-		if err := enc.Encode(Record{
-			Type:      "violation",
-			Name:      t.Name,
-			Seq:       i + 1,
-			Invariant: v.Invariant,
-			Prefix:    int(v.Prefix),
-			StartNS:   int64(v.Start),
-			EndNS:     int64(v.End),
-			DurNS:     int64(v.Duration()),
-			Tick:      v.StartTick,
-			Phase:     v.Phase,
-			Nodes:     nodes,
-			Open:      v.Open,
-		}); err != nil {
+		if err := enc.Encode(violationRecord(t.Name, i+1, &v)); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// violationRecord renders one violation as its JSONL record; the live
+// event stream publishes the same shape.
+func violationRecord(name string, seq int, v *Violation) Record {
+	nodes := make([]int, len(v.Nodes))
+	for j, n := range v.Nodes {
+		nodes[j] = int(n)
+	}
+	rec := Record{
+		Type:      "violation",
+		Name:      name,
+		Seq:       seq,
+		Invariant: v.Invariant,
+		Prefix:    int(v.Prefix),
+		StartNS:   int64(v.Start),
+		EndNS:     int64(v.End),
+		DurNS:     int64(v.Duration()),
+		Tick:      v.StartTick,
+		Phase:     v.Phase,
+		Nodes:     nodes,
+		Open:      v.Open,
+		CauseKind: v.Cause.Kind,
+		Cause:     v.Cause.Label,
+	}
+	hops, blame := v.Cause.Hops, int64(v.Cause.Latency)
+	rec.HopDepth, rec.BlameNS = &hops, &blame
+	if v.Cause.Kind != "" && v.Cause.Kind != "init" {
+		node, seq := int(v.Cause.Node), v.Cause.Seq
+		rec.CauseNode, rec.CauseSeq = &node, &seq
+		rec.CausePhase = v.Cause.Phase
+	}
+	return rec
 }
 
 // ValidateJSONL structurally checks a timeline artifact: every line parses
@@ -221,6 +272,26 @@ func ValidateJSONL(r io.Reader) ([]Record, error) {
 			}
 			if !slices.IsSorted(rec.Nodes) {
 				return nil, fmt.Errorf("timeline line %d: unsorted blast radius", line)
+			}
+			switch rec.CauseKind {
+			case "init":
+			case "command", "event":
+				if rec.Cause == "" {
+					return nil, fmt.Errorf("timeline line %d: %s cause without label", line, rec.CauseKind)
+				}
+				if rec.CauseSeq == nil {
+					return nil, fmt.Errorf("timeline line %d: rooted cause without cause_seq", line)
+				}
+			case "":
+				return nil, fmt.Errorf("timeline line %d: violation without cause_kind", line)
+			default:
+				return nil, fmt.Errorf("timeline line %d: unknown cause_kind %q", line, rec.CauseKind)
+			}
+			if rec.HopDepth == nil || rec.BlameNS == nil {
+				return nil, fmt.Errorf("timeline line %d: violation without hop_depth/blame_ns", line)
+			}
+			if *rec.BlameNS < 0 {
+				return nil, fmt.Errorf("timeline line %d: negative blame latency %d", line, *rec.BlameNS)
 			}
 		default:
 			return nil, fmt.Errorf("timeline line %d: unknown record type %q", line, rec.Type)

@@ -74,6 +74,27 @@ type jsonMetric struct {
 	Value int64  `json:"value"`
 }
 
+// jsonHist is the JSONL wire form of one histogram: non-cumulative bucket
+// counts keyed by the rendered inclusive upper bound (map values marshal
+// with sorted keys — numerically unordered but deterministic) plus the sum
+// and sample count.
+type jsonHist struct {
+	Type    string           `json:"type"` // "hist"
+	Name    string           `json:"name"`
+	Buckets map[string]int64 `json:"buckets"`
+	Sum     int64            `json:"sum"`
+	Count   int64            `json:"count"`
+}
+
+func histToJSON(h HistSnapshot) jsonHist {
+	jh := jsonHist{Type: "hist", Name: h.Name, Sum: h.Sum, Count: h.Count,
+		Buckets: make(map[string]int64, len(h.Buckets))}
+	for _, b := range h.Buckets {
+		jh.Buckets[fmt.Sprintf("%d", b.Le)] = b.Count
+	}
+	return jh
+}
+
 // WriteJSONL emits the trace: one JSON object per line — every span in ID
 // order, then every counter and gauge in name order. The output is
 // byte-identical for identical recordings (with cost attribution enabled,
@@ -131,12 +152,18 @@ func (r *Recorder) WriteJSONLWith(w io.Writer, opts DumpOptions) error {
 			return err
 		}
 	}
+	for _, h := range r.Histograms() {
+		if err := enc.Encode(histToJSON(h)); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
 }
 
 // WriteMetrics emits the counter and gauge totals as "counter <name>
-// <value>" / "gauge <name> <value>" lines in name order — a plain-text dump
-// the worker-invariance tests compare byte for byte.
+// <value>" / "gauge <name> <value>" lines in name order, followed by one
+// "hist <name> le<bound>=<n>... sum=<s> count=<c>" line per histogram — a
+// plain-text dump the worker-invariance tests compare byte for byte.
 func (r *Recorder) WriteMetrics(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -148,6 +175,13 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(gauges) {
 		fmt.Fprintf(bw, "gauge %s %d\n", name, gauges[name])
+	}
+	for _, h := range r.Histograms() {
+		fmt.Fprintf(bw, "hist %s", h.Name)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(bw, " le%d=%d", b.Le, b.Count)
+		}
+		fmt.Fprintf(bw, " sum=%d count=%d\n", h.Sum, h.Count)
 	}
 	return bw.Flush()
 }
@@ -252,6 +286,19 @@ func ValidateJSONL(r io.Reader) (spanCount int, err error) {
 			var jm jsonMetric
 			if err := json.Unmarshal([]byte(text), &jm); err != nil {
 				return 0, fmt.Errorf("obs: line %d: %w", line, err)
+			}
+		case "hist":
+			var jh jsonHist
+			if err := json.Unmarshal([]byte(text), &jh); err != nil {
+				return 0, fmt.Errorf("obs: line %d: %w", line, err)
+			}
+			var bucketSum int64
+			for _, c := range jh.Buckets {
+				bucketSum += c
+			}
+			if bucketSum != jh.Count {
+				return 0, fmt.Errorf("obs: line %d: hist %q buckets sum to %d, count is %d",
+					line, jh.Name, bucketSum, jh.Count)
 			}
 		default:
 			return 0, fmt.Errorf("obs: line %d: unknown record type %q", line, head.Type)

@@ -90,6 +90,11 @@ type Recorder struct {
 	spans    []spanRecord
 	counters map[string]int64
 	gauges   map[string]int64
+	hists    map[string]*histRecord
+
+	// stream, when set, receives a live record for every span start and
+	// end (SetStream). Publishing happens outside the recorder lock.
+	stream *Stream
 
 	// Cost attribution (EnableCostAttribution). wallNow and memNow are the
 	// measurement sources — injectable so the cost pipeline is testable
@@ -234,7 +239,14 @@ func (r *Recorder) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
 	}
 	r.spans = append(r.spans, sp)
 	id := len(r.spans)
+	stream := r.stream
 	r.mu.Unlock()
+	if stream != nil {
+		stream.Publish(StreamRecord{
+			Type: "span_start", Name: name, Span: id,
+			Tick: sp.StartTick, SimNS: sp.SimStart,
+		})
+	}
 	return &Span{rec: r, id: id}
 }
 
@@ -245,6 +257,7 @@ func (s *Span) End() {
 		return
 	}
 	r := s.rec
+	var ended *StreamRecord
 	r.mu.Lock()
 	rec := &r.spans[s.id-1]
 	if rec.EndTick == 0 {
@@ -258,8 +271,18 @@ func (s *Span) End() {
 			rec.AllocBytes = int64(bytes - rec.bytesStart)
 			rec.costDone = true
 		}
+		if r.stream != nil {
+			ended = &StreamRecord{
+				Type: "span_end", Name: rec.Name, Span: rec.ID,
+				Tick: rec.EndTick, SimNS: rec.SimEnd,
+			}
+		}
 	}
+	stream := r.stream
 	r.mu.Unlock()
+	if stream != nil && ended != nil {
+		stream.Publish(*ended)
+	}
 }
 
 // SetAttr sets (or overwrites) an attribute on the span.
@@ -422,6 +445,14 @@ func (r *Recorder) Adopt(name string, child *Recorder) {
 		for k, v := range child.gauges {
 			gauges[k] = v
 		}
+		hists := make(map[string]*histRecord, len(child.hists))
+		for name, h := range child.hists {
+			cp := &histRecord{buckets: make(map[int]int64, len(h.buckets)), sum: h.sum, count: h.count}
+			for i, c := range h.buckets {
+				cp.buckets[i] = c
+			}
+			hists[name] = cp
+		}
 		childTicks := child.tick
 		child.mu.Unlock()
 
@@ -477,9 +508,33 @@ func (r *Recorder) Adopt(name string, child *Recorder) {
 		for k, v := range gauges {
 			r.gauges[k] = v
 		}
+		r.adoptHistsLocked(hists)
 		r.mu.Unlock()
 	}
 	wrapper.End()
+}
+
+// SetStream attaches (or, with nil, detaches) a live event stream: every
+// span start and end is published to it as it happens. The stream is
+// observation-only — attaching one cannot change recorded state, so dumps
+// stay byte-identical with or without it.
+func (r *Recorder) SetStream(s *Stream) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.stream = s
+	r.mu.Unlock()
+}
+
+// EventStream returns the attached live stream (nil when none).
+func (r *Recorder) EventStream() *Stream {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stream
 }
 
 // snapshot copies the recorder state for export and validation. The last

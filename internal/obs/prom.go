@@ -20,12 +20,15 @@ type PromOptions struct {
 	Help map[string]string
 }
 
-// WritePrometheus emits the recorder's counters and gauges in the
-// Prometheus text exposition format (version 0.0.4): one HELP and one TYPE
-// line per metric followed by its sample. Counters get the conventional
-// _total suffix. Metrics appear in a stable order — all counters sorted by
-// name, then all gauges sorted by name — so scrapes of an idle recorder are
-// byte-identical. A nil recorder exposes nothing.
+// WritePrometheus emits the recorder's counters, gauges and histograms in
+// the Prometheus text exposition format (version 0.0.4): one HELP and one
+// TYPE line per metric followed by its samples. Counters get the
+// conventional _total suffix; histograms are exposed as cumulative
+// _bucket{le="..."} series (log-bucketed, powers of two) closed by an
+// le="+Inf" bucket plus _sum and _count. Metrics appear in a stable order
+// — all counters sorted by name, then all gauges, then all histograms — so
+// scrapes of an idle recorder are byte-identical. A nil recorder exposes
+// nothing.
 func (r *Recorder) WritePrometheus(w io.Writer, opts PromOptions) error {
 	if r == nil {
 		return nil
@@ -35,6 +38,7 @@ func (r *Recorder) WritePrometheus(w io.Writer, opts PromOptions) error {
 		ns = "chameleon"
 	}
 	_, counters, gauges, _ := r.snapshot()
+	hists := r.Histograms()
 	labels := renderLabels(opts.ConstLabels)
 	bw := bufio.NewWriter(w)
 	emit := func(name, kind, help string, value int64) {
@@ -50,7 +54,34 @@ func (r *Recorder) WritePrometheus(w io.Writer, opts PromOptions) error {
 		metric := ns + "_" + sanitizeMetricName(name)
 		emit(metric, "gauge", helpFor(opts, name, "gauge"), gauges[name])
 	}
+	for _, h := range hists {
+		metric := ns + "_" + sanitizeMetricName(h.Name)
+		fmt.Fprintf(bw, "# HELP %s %s\n", metric, escapeHelp(helpFor(opts, h.Name, "histogram")))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", metric, "histogram")
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", metric,
+				renderLabelsWith(opts.ConstLabels, "le", fmt.Sprintf("%d", b.Le)), cum)
+		}
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", metric,
+			renderLabelsWith(opts.ConstLabels, "le", "+Inf"), h.Count)
+		fmt.Fprintf(bw, "%s_sum%s %d\n", metric, labels, h.Sum)
+		fmt.Fprintf(bw, "%s_count%s %d\n", metric, labels, h.Count)
+	}
 	return bw.Flush()
+}
+
+// renderLabelsWith renders the const labels plus one extra pair (the
+// histogram's le label), keeping the const labels' sorted-key order with
+// the extra pair appended last, per exposition convention.
+func renderLabelsWith(labels map[string]string, key, value string) string {
+	extra := sanitizeLabelName(key) + `="` + escapeLabelValue(value) + `"`
+	if len(labels) == 0 {
+		return "{" + extra + "}"
+	}
+	base := renderLabels(labels)
+	return base[:len(base)-1] + "," + extra + "}"
 }
 
 func helpFor(opts PromOptions, name, kind string) string {

@@ -1,15 +1,26 @@
 package obs
 
 import (
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 )
 
+// ServeOptions configure the live HTTP surface.
+type ServeOptions struct {
+	// Prom tunes the /metrics exposition.
+	Prom PromOptions
+	// Stream, when set, is served at /events as a live JSONL (or SSE)
+	// feed; without one /events responds 404.
+	Stream *Stream
+}
+
 // Handler returns a stdlib-only HTTP handler exposing a live view of the
 // recorder for long-running sweeps and benchmark runs:
 //
-//   - /metrics  — the recorder's counters and gauges in Prometheus text
-//     exposition format (WritePrometheus with opts)
+//   - /metrics  — the recorder's counters, gauges and histograms in
+//     Prometheus text exposition format (WritePrometheus with opts)
 //   - /healthz  — liveness probe, always "ok"
 //   - /debug/pprof/... — net/http/pprof (CPU, heap, goroutine, trace, ...)
 //
@@ -18,15 +29,31 @@ import (
 // probe and profiler still work), so callers can mount the handler
 // unconditionally.
 func Handler(rec *Recorder, opts PromOptions) http.Handler {
+	return HandlerWith(rec, ServeOptions{Prom: opts})
+}
+
+// HandlerWith is Handler plus the live event stream: with opts.Stream set,
+// /events serves the stream's backlog followed by records as they are
+// published, as chunked JSONL (one JSON object per line). Query
+// parameters: follow=0 sends the backlog and closes (what CI smoke curls
+// use); sse=1 switches to Server-Sent Events framing. The first record is
+// always a hello carrying the backlog length, the publish sequence number
+// and the stream's drop counter.
+func HandlerWith(rec *Recorder, opts ServeOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		rec.WritePrometheus(w, opts)
+		rec.WritePrometheus(w, opts.Prom)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))
 	})
+	if opts.Stream != nil {
+		mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+			serveEvents(w, r, opts.Stream)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -35,16 +62,80 @@ func Handler(rec *Recorder, opts PromOptions) http.Handler {
 	return mux
 }
 
-// Serve starts an http.Server for Handler(rec, opts) on addr in a new
-// goroutine and returns it (callers Close it on shutdown, or let process
-// exit tear it down). Errors after startup are reported through errf when
-// non-nil.
-func Serve(addr string, rec *Recorder, opts PromOptions, errf func(error)) *http.Server {
-	srv := &http.Server{Addr: addr, Handler: Handler(rec, opts)}
+func serveEvents(w http.ResponseWriter, r *http.Request, s *Stream) {
+	sse := r.URL.Query().Get("sse") == "1"
+	follow := r.URL.Query().Get("follow") != "0"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	write := func(line []byte) bool {
+		var err error
+		if sse {
+			_, err = fmt.Fprintf(w, "data: %s\n\n", line)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", line)
+		}
+		if err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	backlog, sub := s.Subscribe(0)
+	defer sub.Close()
+	hello := fmt.Sprintf(`{"type":"hello","backlog":%d,"seq":%d,"dropped":%d}`,
+		len(backlog), s.Seq(), s.Dropped())
+	if !write([]byte(hello)) {
+		return
+	}
+	for _, line := range backlog {
+		if !write(line) {
+			return
+		}
+	}
+	if !follow {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case line := <-sub.C():
+			if !write(line) {
+				return
+			}
+		}
+	}
+}
+
+// Serve listens on addr — which may name an ephemeral port, ":0" — then
+// serves Handler(rec, opts) from a new goroutine. It returns the server
+// (callers Close it on shutdown, or let process exit tear it down) and the
+// actually bound address, e.g. "127.0.0.1:43817", so callers on ephemeral
+// ports can print or curl a usable URL. Errors after startup are reported
+// through errf when non-nil.
+func Serve(addr string, rec *Recorder, opts PromOptions, errf func(error)) (*http.Server, string, error) {
+	return ServeWith(addr, rec, ServeOptions{Prom: opts}, errf)
+}
+
+// ServeWith is Serve with the full options (live event stream included).
+func ServeWith(addr string, rec *Recorder, opts ServeOptions, errf func(error)) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: HandlerWith(rec, opts)}
 	go func() {
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed && errf != nil {
 			errf(err)
 		}
 	}()
-	return srv
+	return srv, ln.Addr().String(), nil
 }

@@ -58,7 +58,8 @@ func (e *Executor) ExecuteMultiCtx(ctx context.Context, mp *plan.MultiPlan) (*Re
 	e.net.ResetMaxTableEntries()
 	for _, ev := range e.opts.ExternalEvents {
 		ev := ev
-		e.net.ScheduleAt(res.Start+ev.After, func(n *sim.Network) { ev.Apply(n) })
+		// Each external event roots its own causal chain.
+		e.net.ScheduleEventAt(res.Start+ev.After, ev.Name, func(n *sim.Network) { ev.Apply(n) })
 	}
 
 	phase := func(name string, f func() error) error {

@@ -370,13 +370,16 @@ func (e *Executor) count(name string, delta int64) {
 	e.execSpan.Add(name, delta)
 }
 
-// startPhase opens a trace span for one phase and points the sim layer's
-// counter attribution at it; endPhase closes it and reverts attribution.
-// Phase observers are notified first, recorder or not.
+// startPhase opens a trace span for one phase, points the sim layer's
+// counter attribution at it and labels the network's provenance layer so
+// causes registered during the phase carry its name; endPhase closes the
+// span and reverts attribution and label. Phase observers are notified
+// first, recorder or not.
 func (e *Executor) startPhase(name string) *obs.Span {
 	if e.opts.PhaseObserver != nil {
 		e.opts.PhaseObserver(name)
 	}
+	e.net.SetPhaseLabel(name)
 	if e.obsRec == nil {
 		return nil
 	}
@@ -389,6 +392,7 @@ func (e *Executor) startPhase(name string) *obs.Span {
 func (e *Executor) endPhase(sp *obs.Span) {
 	sp.End()
 	e.phaseSpan = nil
+	e.net.SetPhaseLabel("")
 	if e.obsRec != nil {
 		e.net.SetObsSpan(nil)
 	}
@@ -442,10 +446,11 @@ func (e *Executor) ExecuteCtx(ctx context.Context, p *plan.Plan) (*Result, error
 	e.net.ResetMaxTableEntries()
 	e.betweenDone = make([]bool, len(p.Between))
 
-	// Schedule external events relative to the start.
+	// Schedule external events relative to the start; each roots its own
+	// causal chain so violations it sets off blame the named event.
 	for _, ev := range e.opts.ExternalEvents {
 		ev := ev
-		e.net.ScheduleAt(res.Start+ev.After, func(n *sim.Network) { ev.Apply(n) })
+		e.net.ScheduleEventAt(res.Start+ev.After, ev.Name, func(n *sim.Network) { ev.Apply(n) })
 	}
 
 	runPhase := func(name string, steps []plan.Step) error {

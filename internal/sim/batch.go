@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"chameleon/internal/bgp"
+	"chameleon/internal/obs"
 	"chameleon/internal/topology"
 )
 
@@ -88,6 +89,7 @@ func externalRoute(peer, ext topology.NodeID, ann Announcement) bgp.Route {
 // first, then one decision pass per affected prefix, then at most one
 // outgoing batch per neighbor.
 func (n *Network) deliverBatch(r *router, m *message) {
+	n.observe(obs.HistBatchSize, int64(len(m.updates)+len(m.withdraws)))
 	if r.external {
 		// External networks are sinks; record exports for the
 		// no-transient-leak invariant.

@@ -37,12 +37,16 @@ type message struct {
 }
 
 // event is a queue entry: either a message delivery or a scheduled function
-// (configuration command, external event, probe).
+// (configuration command, external event, probe). Each event carries the
+// causal chain it belongs to: the root cause and the number of message hops
+// between the root and this event (see cause.go).
 type event struct {
-	at  time.Duration
-	seq uint64 // tie-break, preserves insertion order at equal times
-	msg *message
-	fn  func(*Network)
+	at    time.Duration
+	seq   uint64 // tie-break, preserves insertion order at equal times
+	msg   *message
+	fn    func(*Network)
+	cause CauseID
+	hops  int
 }
 
 type eventQueue []*event
@@ -70,12 +74,16 @@ func (n *Network) push(e *event) {
 }
 
 // ScheduleAt runs fn when the simulated clock reaches t. Functions
-// scheduled for the past run at the current time.
+// scheduled for the past run at the current time. The scheduled function
+// inherits the ambient causal chain: scheduling from inside an event
+// handler (a flap's re-establish timer, a fault-layer wrapper) keeps the
+// scheduler's cause; scheduling from outside the event loop roots a chain
+// with no cause.
 func (n *Network) ScheduleAt(t time.Duration, fn func(*Network)) {
 	if t < n.now {
 		t = n.now
 	}
-	n.push(&event{at: t, fn: fn})
+	n.push(&event{at: t, fn: fn, cause: n.curCause, hops: n.curHops})
 }
 
 // ScheduleAfter runs fn after the given delay from the current simulated
@@ -112,7 +120,9 @@ func (n *Network) sendMsg(m *message) {
 			at = last + time.Microsecond
 		}
 		n.lastDelivery[key] = at
-		n.push(&event{at: at, msg: m})
+		// A message is one propagation hop deeper than the event that sent
+		// it; the cause rides along unchanged.
+		n.push(&event{at: at, msg: m, cause: n.curCause, hops: n.curHops + 1})
 		return at
 	}
 	at := enqueue(n.now + delay)

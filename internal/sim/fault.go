@@ -172,7 +172,10 @@ func (n *Network) ScheduleCommand(delay time.Duration, cmd Command, attempt int)
 	tk.at = n.now + delay
 	apply := cmd.Apply
 	n.pendingCmds = append(n.pendingCmds, tk)
-	n.ScheduleAfter(delay, func(net *Network) {
+	// Each scheduled application roots its own causal chain, so violations
+	// set off by the resulting BGP churn blame this command (cause.go).
+	cause := n.NewCause(CauseCommand, cmd.Description, cmd.Node)
+	n.ScheduleCausedAt(n.now+delay, cause, func(net *Network) {
 		if tk.cancelled {
 			return
 		}
@@ -191,7 +194,7 @@ func (n *Network) ScheduleCommand(delay time.Duration, cmd Command, attempt int)
 		if f.DelayFactor > 1 {
 			extra = time.Duration(float64(delay) * (f.DelayFactor - 1) / 2)
 		}
-		n.ScheduleAfter(delay+extra, func(net *Network) {
+		n.ScheduleCausedAt(n.now+delay+extra, cause, func(net *Network) {
 			if tk.cancelled {
 				return
 			}

@@ -66,7 +66,15 @@ type Network struct {
 
 	traces   map[bgp.Prefix]*fwd.Trace
 	traceAll bool
-	dirty    map[bgp.Prefix]bool
+	dirty    map[bgp.Prefix]causeMark
+
+	// Causal provenance (see cause.go): the registry of roots, the cause
+	// and hop depth of the event being processed, and the phase label new
+	// causes are attributed to. None of it is inherited by Clone.
+	causes   []Cause
+	curCause CauseID
+	curHops  int
+	curPhase string
 
 	// snapHook, when set, observes every forwarding-state snapshot the
 	// moment it is appended to a trace (see SetSnapshotHook). Not
@@ -118,7 +126,7 @@ func New(g *topology.Graph, opts Options) *Network {
 		rng:          rand.New(rand.NewPCG(opts.Seed, opts.Seed^0xda3e39cb94b95bdb)),
 		lastDelivery: make(map[sessKey]time.Duration),
 		traces:       make(map[bgp.Prefix]*fwd.Trace),
-		dirty:        make(map[bgp.Prefix]bool),
+		dirty:        make(map[bgp.Prefix]causeMark),
 		ebgpExports:  make(map[bgp.Prefix]int),
 		arena:        &bgp.PathArena{},
 	}
@@ -174,6 +182,10 @@ func (n *Network) count(name string, delta int64) {
 	}
 	n.rec.Add(name, delta)
 }
+
+// observe records one sample into a recorder histogram. Histograms are
+// recorder-level (spans carry counters only), and the nil path is free.
+func (n *Network) observe(name string, v int64) { n.rec.Observe(name, v) }
 
 // Graph returns the underlying topology.
 func (n *Network) Graph() *topology.Graph { return n.graph }
@@ -360,8 +372,9 @@ func (n *Network) igpChanged() {
 }
 
 func (n *Network) markAllDirtyFor(node topology.NodeID) {
+	mark := causeMark{n.curCause, n.curHops}
 	n.routers[node].locRib.Range(func(p bgp.Prefix, _ bgp.Route) bool {
-		n.dirty[p] = true
+		n.dirty[p] = mark
 		return true
 	})
 }
@@ -376,6 +389,8 @@ func (n *Network) Step() bool {
 	}
 	e := heap.Pop(&n.queue).(*event)
 	n.now = e.at
+	n.curCause, n.curHops = e.cause, e.hops
+	n.activateCause(e.cause)
 	n.count(obs.CtrSimEvents, 1)
 	if e.fn != nil {
 		e.fn(n)
@@ -384,6 +399,7 @@ func (n *Network) Step() bool {
 	}
 	n.snapshotDirty()
 	n.trackTableSize()
+	n.curCause, n.curHops = 0, 0
 	return true
 }
 
@@ -539,7 +555,7 @@ func (n *Network) decide(r *router, prefix bgp.Prefix) bool {
 	} else {
 		r.locRib.Clear(prefix)
 	}
-	n.dirty[prefix] = true
+	n.dirty[prefix] = causeMark{n.curCause, n.curHops}
 	return true
 }
 
@@ -740,10 +756,11 @@ func (n *Network) Trace(prefix bgp.Prefix) *fwd.Trace {
 // SnapshotHook observes forwarding-state snapshots as the simulator takes
 // them: it is called once per (event, prefix) whose routing changed, right
 // after the state is appended to the prefix's trace. The state is a fresh
-// copy the hook may retain. Hooks run on the simulator's event loop, so
-// they see every transient state in event order — the transient-state
-// monitor subscribes here.
-type SnapshotHook func(at time.Duration, prefix bgp.Prefix, state fwd.State)
+// copy the hook may retain; prov carries the causal chain that produced
+// the change (zero-valued when none is registered). Hooks run on the
+// simulator's event loop, so they see every transient state in event
+// order — the transient-state monitor subscribes here.
+type SnapshotHook func(at time.Duration, prefix bgp.Prefix, state fwd.State, prov Provenance)
 
 // SetSnapshotHook installs (or, with nil, removes) the snapshot hook. Only
 // prefixes with tracing enabled produce snapshots; pass the prefixes of
@@ -772,6 +789,7 @@ func (n *Network) snapshotDirty() {
 }
 
 func (n *Network) snapshotOne(p bgp.Prefix) {
+	mark := n.dirty[p]
 	delete(n.dirty, p)
 	tr := n.traces[p]
 	if tr == nil {
@@ -784,7 +802,7 @@ func (n *Network) snapshotOne(p bgp.Prefix) {
 	st := n.ForwardingState(p)
 	tr.Append(n.now.Seconds(), st)
 	if n.snapHook != nil {
-		n.snapHook(n.now, p, st)
+		n.snapHook(n.now, p, st, n.provenance(mark))
 	}
 }
 
@@ -800,7 +818,7 @@ func (n *Network) RecordInitialState(prefix bgp.Prefix) {
 	st := n.ForwardingState(prefix)
 	tr.Append(n.now.Seconds(), st)
 	if n.snapHook != nil {
-		n.snapHook(n.now, prefix, st)
+		n.snapHook(n.now, prefix, st, Provenance{})
 	}
 }
 

@@ -245,7 +245,8 @@ func (n *Network) RestoreState(st *NetState) error {
 	for _, pc := range st.EBGPExports {
 		n.ebgpExports[pc.Prefix] = pc.Count
 	}
-	n.dirty = make(map[bgp.Prefix]bool)
+	n.dirty = make(map[bgp.Prefix]causeMark)
+	n.curCause, n.curHops = 0, 0
 	n.pendingCmds = nil
 	n.lastDelivery = make(map[sessKey]time.Duration)
 	n.recountTableEntries()

@@ -56,7 +56,10 @@ func Apply(net *sim.Network, cmds []sim.Command, order []int, latency time.Durat
 			return nil, fmt.Errorf("snowcap: order index %d out of range", idx)
 		}
 		cmd := cmds[idx]
-		net.ScheduleAfter(latency, func(n *sim.Network) { cmd.Apply(n) })
+		// Root a causal chain per command so transient violations during
+		// the free-running convergence are attributed to it.
+		cause := net.NewCause(sim.CauseCommand, cmd.Description, cmd.Node)
+		net.ScheduleCausedAt(net.Now()+latency, cause, func(n *sim.Network) { cmd.Apply(n) })
 		net.Run() // free-running convergence; no transient control
 	}
 	res.End = net.Now()
