@@ -36,9 +36,13 @@
 // (chunked JSONL; ?sse=1 for SSE framing, ?follow=0 for backlog-only),
 // /healthz and /debug/pprof while a long sweep is in flight — ":0" picks
 // an ephemeral port and the bound address is printed; -linger DUR keeps
-// those endpoints up after the runs finish. The process exits nonzero if
-// any sweep's per-scenario run errored, so partially failed sweeps cannot
-// look green in CI.
+// those endpoints up after the runs finish. -bundle DIR seals every
+// deterministic artifact of the run (trace, metrics, timelines, compiled
+// plans, chaos/recovery fingerprints, supervisor journals) into a
+// content-addressed run bundle that `obsdiff` can structurally compare
+// against another run's. The process exits nonzero if any sweep's
+// per-scenario run errored, so partially failed sweeps cannot look green
+// in CI.
 //
 // By default the corpus sweeps are capped at -max-nodes (60) routers so a
 // full run finishes on a laptop; pass -full for the entire 106-topology
@@ -63,6 +67,8 @@ import (
 	"path/filepath"
 	goruntime "runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"chameleon"
@@ -70,6 +76,7 @@ import (
 	"chameleon/internal/eval"
 	"chameleon/internal/monitor"
 	"chameleon/internal/obs"
+	"chameleon/internal/obs/bundle"
 	"chameleon/internal/scenario"
 	"chameleon/internal/scheduler"
 	"chameleon/internal/topology"
@@ -97,6 +104,7 @@ var (
 	explainFlag  = flag.String("explain", "", "write a human-readable root-cause report of every monitored violation to this file (\"-\" for stdout)")
 	lingerFlag   = flag.Duration("linger", 0, "keep the -serve endpoints alive for this long after the runs finish (CI smoke curls them)")
 	smokeFlag    = flag.Bool("smoke", false, "run one traced RunningExample reconfiguration and validate the span tree (CI gate)")
+	bundleFlag   = flag.String("bundle", "", "seal a content-addressed run bundle (manifest + trace/metrics/timeline/plan/chaos/journal parts) into this directory; two same-seed runs bundle byte-identically at any -workers count, which `obsdiff` checks")
 )
 
 // recorder observes every instrumented run when -trace/-metrics/-smoke ask
@@ -121,11 +129,24 @@ var sweepRunErrs int
 // (-smoke, -fig 1) in execution order for the -timeline artifact.
 var timelines []*monitor.Timeline
 
-// writeObsArtifacts exports the recorder and timelines once, before any
-// exit path.
+// Run-bundle inputs, collected as the sections execute (-bundle):
+// compiled plan texts, chaos/recovery fingerprints, and the names of the
+// sections that ran (the bundle's scenario key).
+var (
+	planTexts       []planText
+	chaosResults    []chaos.CaseResult
+	recoveryResults []chaos.RecoveryResult
+	sections        []string
+)
+
+type planText struct{ name, text string }
+
+// writeObsArtifacts exports the recorder, timelines and run bundle once,
+// before any exit path.
 func writeObsArtifacts() {
 	writeTimelines()
 	writeExplain()
+	defer writeRunBundle()
 	if recorder == nil {
 		return
 	}
@@ -225,6 +246,89 @@ func writeExplain() {
 	fmt.Printf("(wrote %s)\n", *explainFlag)
 }
 
+// writeRunBundle seals the -bundle directory: a content-addressed manifest
+// over every deterministic artifact the run produced. Wall-clock artifacts
+// (the scheduling-time CSVs) are deliberately excluded, so two runs of the
+// same sections and seed seal byte-identical bundles at any -workers
+// count — `obsdiff A B` exiting 0 is the determinism gate.
+func writeRunBundle() {
+	if *bundleFlag == "" {
+		return
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sealing bundle:", err)
+		sweepRunErrs++
+	}
+	w, err := bundle.Create(*bundleFlag, strings.Join(sections, "+"), *seedFlag)
+	if err != nil {
+		fail(err)
+		return
+	}
+	// Options record the environment without entering the content address:
+	// runs at different parallelism must address identically.
+	w.SetOption("workers", strconv.Itoa(*workersFlag))
+	w.SetOption("max_nodes", strconv.Itoa(*maxNodes))
+	w.SetOption("full", strconv.FormatBool(*fullFlag))
+	w.SetOption("runs", strconv.Itoa(*runsFlag))
+	add := func(name, kind string, write func(io.Writer) error) {
+		if err := w.AddPart(name, kind, write); err != nil {
+			fail(err)
+		}
+	}
+	if recorder != nil {
+		add("trace.jsonl", bundle.KindTrace, recorder.WriteJSONL)
+		add("metrics.txt", bundle.KindMetrics, recorder.WriteMetrics)
+	}
+	if len(timelines) > 0 {
+		add("timeline.jsonl", bundle.KindTimeline, func(dst io.Writer) error {
+			for _, tl := range timelines {
+				if err := tl.WriteJSONL(dst); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	for _, p := range planTexts {
+		text := p.text
+		add("plan/"+p.name+".txt", bundle.KindPlan, func(dst io.Writer) error {
+			_, err := io.WriteString(dst, text)
+			return err
+		})
+	}
+	if len(chaosResults) > 0 {
+		add("chaos.txt", bundle.KindChaos, func(dst io.Writer) error {
+			return chaos.WriteFingerprints(dst, chaosResults)
+		})
+	}
+	if len(recoveryResults) > 0 {
+		add("recovery.txt", bundle.KindChaos, func(dst io.Writer) error {
+			return chaos.WriteRecoveryFingerprints(dst, recoveryResults)
+		})
+	}
+	// Link the supervisor execution journals (one JSONL WAL per supervised
+	// case) into the manifest so a bundle diff can name the exact recovery
+	// decision where two runs parted.
+	if *journalFlag != "" && len(recoveryResults) > 0 {
+		names, err := filepath.Glob(filepath.Join(*journalFlag, "*.jsonl"))
+		if err != nil {
+			fail(err)
+		}
+		sort.Strings(names)
+		for _, src := range names {
+			if err := w.AddFile("journal/"+filepath.Base(src), bundle.KindJournal, src); err != nil {
+				fail(err)
+			}
+		}
+	}
+	m, err := w.Close()
+	if err != nil {
+		fail(err)
+		return
+	}
+	fmt.Printf("(sealed bundle %s: %d parts, id %s)\n", *bundleFlag, len(m.Parts), m.ID)
+}
+
 // validateTraceFile re-reads an emitted JSONL trace and runs the
 // well-formedness checker over it, returning the span count.
 func validateTraceFile(path string) (int, error) {
@@ -279,7 +383,7 @@ func main() {
 		}()
 		fmt.Printf("(pprof listening on http://%s/debug/pprof/)\n", *pprofFlag)
 	}
-	if *traceFlag != "" || *metricsFlag != "" || *smokeFlag || *serveFlag != "" {
+	if *traceFlag != "" || *metricsFlag != "" || *smokeFlag || *serveFlag != "" || *bundleFlag != "" {
 		recorder = obs.New()
 		runCtx = obs.WithRecorder(runCtx, recorder)
 	}
@@ -300,6 +404,7 @@ func main() {
 	ran := false
 	run := func(name string, f func() error) {
 		ran = true
+		sections = append(sections, name)
 		fmt.Printf("\n================ %s ================\n", name)
 		start := time.Now()
 		if err := f(); err != nil {
@@ -396,6 +501,7 @@ func smoke() error {
 	if err := rec.Verify(res); err != nil {
 		return err
 	}
+	planTexts = append(planTexts, planText{"smoke", rec.Plan.String()})
 	tl := mon.Timeline()
 	timelines = append(timelines, tl)
 	if n := len(tl.Violations); n != 0 {
@@ -498,6 +604,7 @@ func fig1() error {
 		return eval.WriteTimelineCSV(w, r.SnowcapTimeline, r.ChameleonTimeline)
 	})
 	timelines = append(timelines, r.SnowcapTimeline, r.ChameleonTimeline)
+	planTexts = append(planTexts, planText{"fig1-abilene", r.PlanText})
 	fmt.Println("Abilene case study (§6): direct application (Snowcap) vs Chameleon.")
 	fmt.Println("Paper shape: Snowcap finishes in ~1.7 s but transiently drops ~15k packets")
 	fmt.Println("and violates waypointing; Chameleon takes ~30-60x longer with zero violations.")
@@ -730,6 +837,7 @@ func chaosSweep() error {
 	if err != nil {
 		return err
 	}
+	chaosResults = results
 	saveCSV("chaos_sweep.csv", func(w io.Writer) error { return eval.WriteChaosCSV(w, results) })
 	fmt.Println()
 	fmt.Print(eval.FormatChaosTable(sums))
@@ -774,6 +882,7 @@ func recoverySweep() error {
 	if err != nil {
 		return err
 	}
+	recoveryResults = results
 	if *journalFlag != "" {
 		fmt.Printf("(wrote %d execution journals to %s)\n", len(results), *journalFlag)
 	}

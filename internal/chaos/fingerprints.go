@@ -1,0 +1,36 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// The fingerprint tables are the chaos sweeps' run-bundle parts: one line
+// per case, every field a deterministic function of the case, so a bundle
+// diff of two same-seed sweeps is empty and any divergence names the exact
+// case that behaved differently. Wall-clock measurements never appear.
+
+// WriteFingerprints renders a chaos sweep's results as a canonical
+// fingerprint table, in sweep (case) order.
+func WriteFingerprints(w io.Writer, results []CaseResult) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range results {
+		fmt.Fprintf(bw, "chaos %s/%s/seed=%d outcome=%s sim_ns=%d rounds=%d faults=%d,%d flaps=%d fp=%016x\n",
+			r.Topology, r.Fault, r.Seed, r.Outcome, int64(r.SimDuration), r.Rounds,
+			r.CommandFaults, r.MessageFaults, r.Flaps, r.Fingerprint)
+	}
+	return bw.Flush()
+}
+
+// WriteRecoveryFingerprints renders a supervised recovery sweep's results
+// as a canonical fingerprint table, in sweep order.
+func WriteRecoveryFingerprints(w io.Writer, results []RecoveryResult) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range results {
+		fmt.Fprintf(bw, "recovery %s/%s/seed=%d outcome=%s verified=%v attempts=%d replans=%d forced=%v viol_ns=%d silent=%d fp=%016x\n",
+			r.Topology, r.Profile, r.Seed, r.Outcome, r.Verified, r.Attempts, r.Replans,
+			r.Forced, int64(r.ViolationTime), len(r.SilentViolations), r.Fingerprint)
+	}
+	return bw.Flush()
+}

@@ -94,6 +94,11 @@ type CaseStudyResult struct {
 	SnowcapViolationTime   time.Duration
 	ChameleonTimeline      *monitor.Timeline
 	ChameleonViolationTime time.Duration
+
+	// PlanText is the compiled Chameleon plan rendered as text — a
+	// deterministic function of (topology, seed), bundled as a run-bundle
+	// plan part so a bundle diff localizes planner divergences.
+	PlanText string
 }
 
 // caseStudyInvariants builds the monitored invariant set of the §6/§7 case
@@ -207,6 +212,7 @@ func RunCaseStudyCtx(ctx context.Context, name string, seed uint64) (*CaseStudyR
 	out.Phases = res.Phases
 	out.R = pl.Schedule.R
 	out.TempSessions = len(pl.Plan.TempSessions)
+	out.PlanText = pl.Plan.String()
 	out.Chameleon = traffic.Measure(sCham.Net.Trace(sCham.Prefix), sCham.Graph.Internal(),
 		waypointRules(pl.Analysis, sCham.E1), traffic.Options{
 			RatePerNode: 1500, Step: 0.05,

@@ -1,0 +1,54 @@
+package monitor
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"chameleon/internal/topology"
+)
+
+// TestTimelineRoundTripByteIdentical pins the canonicality contract the
+// run-bundle differ depends on: write → parse → re-write reproduces the
+// original timeline artifact byte for byte, covering rooted and unrooted
+// causes, open violations, empty timelines, and multi-timeline streams.
+func TestTimelineRoundTripByteIdentical(t *testing.T) {
+	tls := []*Timeline{
+		{
+			Name:          "snowcap",
+			StatesChecked: 7,
+			End:           5 * time.Second,
+			Violations: []Violation{
+				{Invariant: "reach", Prefix: 1, Start: 1 * time.Second, End: 2 * time.Second,
+					StartTick: 3, Phase: "round 1", Nodes: []topology.NodeID{0, 2},
+					Cause: RootCause{Kind: "command", Label: "withdraw old route",
+						Node: 4, Phase: "round 1", Seq: 2, Hops: 3, Latency: 250 * time.Millisecond}},
+				{Invariant: "loop-free", Prefix: 1, Start: 4 * time.Second, End: 5 * time.Second,
+					StartTick: 6, Phase: "cleanup", Nodes: []topology.NodeID{1}, Open: true,
+					Cause: RootCause{Kind: "init"}},
+				{Invariant: "waypoint", Prefix: 2, Start: 0, End: 0,
+					Nodes: []topology.NodeID{}, Cause: RootCause{Kind: "event",
+						Label: "link failure", Node: 0, Seq: 0}},
+			},
+		},
+		{Name: "chameleon", StatesChecked: 38, End: 90 * time.Second},
+	}
+	var orig bytes.Buffer
+	for _, tl := range tls {
+		if err := tl.WriteJSONL(&orig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := ValidateJSONL(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatalf("emitted timeline does not validate: %v", err)
+	}
+	var rewritten bytes.Buffer
+	if err := WriteRecords(&rewritten, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig.Bytes(), rewritten.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\n-- original --\n%s\n-- rewritten --\n%s",
+			orig.String(), rewritten.String())
+	}
+}

@@ -1,0 +1,418 @@
+package diff
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"chameleon/internal/monitor"
+	"chameleon/internal/obs"
+	"chameleon/internal/obs/bundle"
+	"chameleon/internal/supervisor"
+	"chameleon/internal/topology"
+)
+
+// writeBundle seals a bundle at dir from named text parts.
+func writeBundle(t *testing.T, dir, scenario string, seed uint64, parts map[string][2]string) *bundle.Bundle {
+	t.Helper()
+	w, err := bundle.Create(dir, scenario, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, kc := range parts {
+		kind, content := kc[0], kc[1]
+		if err := w.AddPart(name, kind, func(dst io.Writer) error {
+			_, err := dst.Write([]byte(content))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := bundle.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func timelineJSONL(t *testing.T, tl *monitor.Timeline) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tl.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func metricsText(t *testing.T, fill func(r *obs.Recorder)) string {
+	t.Helper()
+	r := obs.New()
+	fill(r)
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestIdenticalBundlesEmptyDiff: the determinism gate — equal bytes, empty
+// report, equal content address.
+func TestIdenticalBundlesEmptyDiff(t *testing.T) {
+	parts := map[string][2]string{
+		"metrics.txt":   {bundle.KindMetrics, metricsText(t, func(r *obs.Recorder) { r.Add("solver_nodes", 42) })},
+		"plan.txt":      {bundle.KindPlan, "round 1: step a\nround 2: step b\n"},
+		"chaos.txt":     {bundle.KindChaos, "chaos clos4/link/seed=1 ok fp=0000000000000001\n"},
+		"timeline.json": {bundle.KindTimeline, timelineJSONL(t, &monitor.Timeline{Name: "t"})},
+	}
+	a := writeBundle(t, t.TempDir(), "smoke", 7, parts)
+	b := writeBundle(t, t.TempDir(), "smoke", 7, parts)
+	rep, err := Bundles(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Empty() {
+		var buf bytes.Buffer
+		rep.WriteText(&buf)
+		t.Fatalf("expected empty diff, got:\n%s", buf.String())
+	}
+	if rep.AID != rep.BID {
+		t.Errorf("same content, different IDs: %s vs %s", rep.AID, rep.BID)
+	}
+	if len(rep.IdenticalParts) != len(parts) {
+		t.Errorf("IdenticalParts = %v", rep.IdenticalParts)
+	}
+}
+
+// TestTimelineDivergenceNamesFirstEventAndRootCause: perturb one violation
+// and the report must name that record and its provenance.
+func TestTimelineDivergenceNamesFirstEventAndRootCause(t *testing.T) {
+	mk := func(end time.Duration) string {
+		return timelineJSONL(t, &monitor.Timeline{
+			Name: "reach", StatesChecked: 100,
+			Violations: []monitor.Violation{{
+				Invariant: "reachability", Prefix: 1, Start: 2 * time.Second, End: end,
+				Phase: "drain", Nodes: []topology.NodeID{3, 4},
+				Cause: monitor.RootCause{Kind: "command", Label: "withdraw p1@r3", Node: 3,
+					Phase: "drain", Seq: 9, Hops: 2, Latency: 1500 * time.Millisecond},
+			}},
+		})
+	}
+	a := writeBundle(t, t.TempDir(), "smoke", 7, map[string][2]string{
+		"timeline.json": {bundle.KindTimeline, mk(5 * time.Second)},
+	})
+	b := writeBundle(t, t.TempDir(), "smoke", 7, map[string][2]string{
+		"timeline.json": {bundle.KindTimeline, mk(6 * time.Second)},
+	})
+	rep, err := Bundles(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Empty() {
+		t.Fatal("expected divergence")
+	}
+	f := rep.First()
+	if f == nil || f.Kind != "event" {
+		t.Fatalf("First() = %+v", f)
+	}
+	// Record 1 is the summary (violation_ns differs); both sides present.
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"first diverging event (timeline.json)",
+		"root cause",
+		`command "withdraw p1@r3" on node 3`,
+		"2 hop(s)",
+		"blame 1.500s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTimelineExtraViolation: one side records a violation the other never
+// saw — reported as a record present only on one side.
+func TestTimelineExtraViolation(t *testing.T) {
+	base := &monitor.Timeline{Name: "t", StatesChecked: 10}
+	withV := &monitor.Timeline{Name: "t", StatesChecked: 10,
+		Violations: []monitor.Violation{{Invariant: "loopfree", Prefix: 2,
+			Start: time.Second, End: 2 * time.Second, Phase: "apply",
+			Nodes: []topology.NodeID{1},
+			Cause: monitor.RootCause{Kind: "init"}}}}
+	a := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"timeline.json": {bundle.KindTimeline, timelineJSONL(t, base)}})
+	b := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"timeline.json": {bundle.KindTimeline, timelineJSONL(t, withV)}})
+	rep, err := Bundles(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "<absent>") || !strings.Contains(out, "loopfree") {
+		t.Errorf("expected one-sided violation in report:\n%s", out)
+	}
+	if !strings.Contains(out, "initial convergence") {
+		t.Errorf("init cause not rendered:\n%s", out)
+	}
+}
+
+// TestMetricsToleranceExemptsNoise: counter deltas within tolerance pass;
+// beyond it fail; the stream-drop counter never fails regardless.
+func TestMetricsToleranceExemptsNoise(t *testing.T) {
+	a := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"metrics.txt": {bundle.KindMetrics, metricsText(t, func(r *obs.Recorder) {
+			r.Add("solver_nodes", 100)
+			r.Add(obs.CtrStreamDropped, 5)
+		})}})
+	b := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"metrics.txt": {bundle.KindMetrics, metricsText(t, func(r *obs.Recorder) {
+			r.Add("solver_nodes", 103)
+			r.Add(obs.CtrStreamDropped, 900)
+		})}})
+
+	rep, err := Bundles(a, b, Options{Tolerance: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Empty() {
+		var buf bytes.Buffer
+		rep.WriteText(&buf)
+		t.Errorf("3%% delta + ignored counter should pass at 5%% tolerance:\n%s", buf.String())
+	}
+
+	rep, err = Bundles(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Empty() {
+		t.Fatal("exact mode must flag solver_nodes 100 vs 103")
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "solver_nodes: 100 vs 103") {
+		t.Errorf("missing solver_nodes delta:\n%s", out)
+	}
+	if strings.Contains(out, obs.CtrStreamDropped) {
+		t.Errorf("ignored counter leaked into report:\n%s", out)
+	}
+}
+
+// TestTraceDivergenceFirstLine: the trace differ names the first differing
+// line, skipping exempted counter lines.
+func TestTraceDivergenceFirstLine(t *testing.T) {
+	traceA := `{"type":"span","id":1,"name":"plan","start_tick":1,"end_tick":5}
+{"type":"counter","name":"obs_stream_dropped","value":3}
+{"type":"counter","name":"solver_nodes","value":10}
+`
+	traceB := `{"type":"span","id":1,"name":"plan","start_tick":1,"end_tick":9}
+{"type":"counter","name":"obs_stream_dropped","value":700}
+{"type":"counter","name":"solver_nodes","value":10}
+`
+	a := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"trace.jsonl": {bundle.KindTrace, traceA}})
+	b := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"trace.jsonl": {bundle.KindTrace, traceB}})
+	rep, err := Bundles(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Empty() {
+		t.Fatal("expected span divergence")
+	}
+	f := rep.First()
+	if f.Kind != "line" || !strings.Contains(f.A, `span #1 "plan"`) {
+		t.Errorf("First() = %+v", f)
+	}
+	if len(rep.Divergences) != 1 {
+		t.Errorf("dropped-counter line should be exempt; got %+v", rep.Divergences)
+	}
+}
+
+// TestTraceOnlyIgnoredDiffers: when the sole byte difference is an
+// exempted counter line, the part yields a "content" note, not a failure
+// the gate would trip on... it IS still a divergence entry, so assert the
+// explicit detail wording instead.
+func TestTraceOnlyIgnoredDiffers(t *testing.T) {
+	a := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"trace.jsonl": {bundle.KindTrace, "{\"type\":\"counter\",\"name\":\"obs_stream_dropped\",\"value\":1}\n"}})
+	b := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"trace.jsonl": {bundle.KindTrace, "{\"type\":\"counter\",\"name\":\"obs_stream_dropped\",\"value\":2}\n"}})
+	rep, err := Bundles(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 1 || rep.Divergences[0].Kind != "content" {
+		t.Fatalf("Divergences = %+v", rep.Divergences)
+	}
+	if !strings.Contains(rep.Divergences[0].Detail, "exempted") {
+		t.Errorf("Detail = %q", rep.Divergences[0].Detail)
+	}
+}
+
+// TestPartSetMismatch: missing and extra parts are called out by name.
+func TestPartSetMismatch(t *testing.T) {
+	a := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"plan.txt":  {bundle.KindPlan, "x\n"},
+		"extra.txt": {bundle.KindPlan, "only-a\n"}})
+	b := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"plan.txt":  {bundle.KindPlan, "x\n"},
+		"other.txt": {bundle.KindPlan, "only-b\n"}})
+	rep, err := Bundles(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]string{}
+	for _, d := range rep.Divergences {
+		kinds[d.Part] = d.Kind
+	}
+	if kinds["extra.txt"] != "missing-part" || kinds["other.txt"] != "extra-part" {
+		t.Errorf("Divergences = %+v", rep.Divergences)
+	}
+}
+
+// TestSeedMismatchIsMeta: different seeds are a manifest-level divergence
+// even when all parts happen to match.
+func TestSeedMismatchIsMeta(t *testing.T) {
+	parts := map[string][2]string{"plan.txt": {bundle.KindPlan, "x\n"}}
+	a := writeBundle(t, t.TempDir(), "s", 1, parts)
+	b := writeBundle(t, t.TempDir(), "s", 2, parts)
+	rep, err := Bundles(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Empty() || rep.Divergences[0].Kind != "meta" {
+		t.Fatalf("Divergences = %+v", rep.Divergences)
+	}
+	if !strings.Contains(rep.Divergences[0].Detail, "seed 1 vs 2") {
+		t.Errorf("Detail = %q", rep.Divergences[0].Detail)
+	}
+}
+
+// TestChaosFingerprintDivergence: plain text parts report the first
+// differing line.
+func TestChaosFingerprintDivergence(t *testing.T) {
+	a := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"chaos.txt": {bundle.KindChaos, "chaos a fp=1\nchaos b fp=2\n"}})
+	b := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"chaos.txt": {bundle.KindChaos, "chaos a fp=1\nchaos b fp=3\n"}})
+	rep, err := Bundles(a, b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 1 {
+		t.Fatalf("Divergences = %+v", rep.Divergences)
+	}
+	d := rep.Divergences[0]
+	if d.Kind != "line" || !strings.Contains(d.Detail, "line 2") {
+		t.Errorf("divergence = %+v", d)
+	}
+}
+
+// TestMaxPerPartTruncates: a wholly different metrics part is capped.
+func TestMaxPerPartTruncates(t *testing.T) {
+	a := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"metrics.txt": {bundle.KindMetrics, metricsText(t, func(r *obs.Recorder) {
+			for _, n := range []string{"c1", "c2", "c3", "c4", "c5"} {
+				r.Add(n, 1)
+			}
+		})}})
+	b := writeBundle(t, t.TempDir(), "s", 1, map[string][2]string{
+		"metrics.txt": {bundle.KindMetrics, metricsText(t, func(r *obs.Recorder) {
+			for _, n := range []string{"c1", "c2", "c3", "c4", "c5"} {
+				r.Add(n, 2)
+			}
+		})}})
+	rep, err := Bundles(a, b, Options{MaxPerPart: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 2 || rep.Truncated != 3 {
+		t.Fatalf("got %d divergences, %d truncated", len(rep.Divergences), rep.Truncated)
+	}
+	var buf bytes.Buffer
+	rep.WriteText(&buf)
+	if !strings.Contains(buf.String(), "3 further divergence(s) truncated") {
+		t.Errorf("truncation note missing:\n%s", buf.String())
+	}
+}
+
+// TestJournalDivergenceNamesEntry: two supervisor journals that part at a
+// decision entry report that entry, rendered, not raw JSON.
+func TestJournalDivergenceNamesEntry(t *testing.T) {
+	writeJournal := func(dir, decision string) string {
+		path := dir + "/exec.jsonl"
+		j, err := supervisor.NewJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range []supervisor.Entry{
+			{Kind: supervisor.KindBegin, Scenario: "clos4", Seed: 7, Commands: []string{"a", "b"}},
+			{Kind: supervisor.KindSnapshot, Rung: "replan", Attempt: 1, SimNS: 1e9},
+			{Kind: supervisor.KindDecision, Decision: decision, Reason: "invariant violated", SimNS: 2e9},
+		} {
+			if err := j.Append(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	mk := func(decision string) *bundle.Bundle {
+		dir := t.TempDir()
+		src := writeJournal(t.TempDir(), decision)
+		w, err := bundle.Create(dir, "s", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AddFile("journal/exec.jsonl", bundle.KindJournal, src); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := bundle.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	rep, err := Bundles(mk("replan"), mk("rollback"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Divergences) != 1 {
+		t.Fatalf("Divergences = %+v", rep.Divergences)
+	}
+	d := rep.Divergences[0]
+	if d.Kind != "journal" || !strings.Contains(d.Detail, "entry 3") ||
+		!strings.Contains(d.A, "decision=replan") || !strings.Contains(d.B, "decision=rollback") {
+		t.Errorf("divergence = %+v", d)
+	}
+}
+
+// TestDirsVerifiesIntegrity: a tampered part is an error, not a diff.
+func TestDirsVerifiesIntegrity(t *testing.T) {
+	parts := map[string][2]string{"plan.txt": {bundle.KindPlan, "x\n"}}
+	aDir, bDir := t.TempDir(), t.TempDir()
+	writeBundle(t, aDir, "s", 1, parts)
+	b := writeBundle(t, bDir, "s", 1, parts)
+	p, _ := b.Manifest.Part("plan.txt")
+	if err := os.WriteFile(b.PartPath(p), []byte("tampered\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dirs(aDir, bDir, Options{}); err == nil {
+		t.Fatal("tampered bundle must fail verification, not diff")
+	}
+}

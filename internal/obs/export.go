@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -168,15 +169,38 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	return r.MetricsDump().Write(w)
+}
+
+// MetricsDump is the parsed form of a WriteMetrics artifact. Write and
+// ParseMetrics are exact inverses: parse → re-write reproduces the input
+// byte for byte, which is the canonicality contract the run-bundle differ
+// (internal/obs/diff) relies on.
+type MetricsDump struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    []HistSnapshot // sorted by name
+}
+
+// MetricsDump snapshots the recorder's counters, gauges and histograms.
+func (r *Recorder) MetricsDump() *MetricsDump {
+	if r == nil {
+		return &MetricsDump{}
+	}
 	_, counters, gauges, _ := r.snapshot()
+	return &MetricsDump{Counters: counters, Gauges: gauges, Hists: r.Histograms()}
+}
+
+// Write renders the dump in the canonical WriteMetrics text form.
+func (d *MetricsDump) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for _, name := range sortedKeys(counters) {
-		fmt.Fprintf(bw, "counter %s %d\n", name, counters[name])
+	for _, name := range sortedKeys(d.Counters) {
+		fmt.Fprintf(bw, "counter %s %d\n", name, d.Counters[name])
 	}
-	for _, name := range sortedKeys(gauges) {
-		fmt.Fprintf(bw, "gauge %s %d\n", name, gauges[name])
+	for _, name := range sortedKeys(d.Gauges) {
+		fmt.Fprintf(bw, "gauge %s %d\n", name, d.Gauges[name])
 	}
-	for _, h := range r.Histograms() {
+	for _, h := range d.Hists {
 		fmt.Fprintf(bw, "hist %s", h.Name)
 		for _, b := range h.Buckets {
 			fmt.Fprintf(bw, " le%d=%d", b.Le, b.Count)
@@ -184,6 +208,97 @@ func (r *Recorder) WriteMetrics(w io.Writer) error {
 		fmt.Fprintf(bw, " sum=%d count=%d\n", h.Sum, h.Count)
 	}
 	return bw.Flush()
+}
+
+// ParseMetrics parses a WriteMetrics dump back into structured form,
+// rejecting anything non-canonical: unknown line kinds, out-of-order or
+// duplicate names, malformed histogram fields, or bucket counts that do
+// not sum to the sample count.
+func ParseMetrics(r io.Reader) (*MetricsDump, error) {
+	d := &MetricsDump{Counters: make(map[string]int64), Gauges: make(map[string]int64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	line := 0
+	lastOf := make(map[string]string) // kind → last name seen, for order checks
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		kind := fields[0]
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("obs: metrics line %d: truncated %q line", line, kind)
+		}
+		name := fields[1]
+		if last := lastOf[kind]; name <= last {
+			return nil, fmt.Errorf("obs: metrics line %d: %s %q out of order (after %q)", line, kind, name, last)
+		}
+		lastOf[kind] = name
+		switch kind {
+		case "counter", "gauge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("obs: metrics line %d: want \"%s <name> <value>\"", line, kind)
+			}
+			v, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("obs: metrics line %d: %w", line, err)
+			}
+			if kind == "counter" {
+				d.Counters[name] = v
+			} else {
+				d.Gauges[name] = v
+			}
+		case "hist":
+			h := HistSnapshot{Name: name}
+			var bucketSum int64
+			var haveSum, haveCount bool
+			for _, f := range fields[2:] {
+				eq := strings.IndexByte(f, '=')
+				if eq < 0 {
+					return nil, fmt.Errorf("obs: metrics line %d: malformed hist field %q", line, f)
+				}
+				key, val := f[:eq], f[eq+1:]
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("obs: metrics line %d: %w", line, err)
+				}
+				switch {
+				case key == "sum":
+					h.Sum, haveSum = n, true
+				case key == "count":
+					h.Count, haveCount = n, true
+				case strings.HasPrefix(key, "le"):
+					le, err := strconv.ParseUint(key[2:], 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("obs: metrics line %d: %w", line, err)
+					}
+					if k := len(h.Buckets); k > 0 && h.Buckets[k-1].Le >= le {
+						return nil, fmt.Errorf("obs: metrics line %d: hist buckets out of order", line)
+					}
+					h.Buckets = append(h.Buckets, HistBucket{Le: le, Count: n})
+					bucketSum += n
+				default:
+					return nil, fmt.Errorf("obs: metrics line %d: unknown hist field %q", line, key)
+				}
+			}
+			if !haveSum || !haveCount {
+				return nil, fmt.Errorf("obs: metrics line %d: hist %q missing sum/count", line, name)
+			}
+			if bucketSum != h.Count {
+				return nil, fmt.Errorf("obs: metrics line %d: hist %q buckets sum to %d, count is %d",
+					line, name, bucketSum, h.Count)
+			}
+			d.Hists = append(d.Hists, h)
+		default:
+			return nil, fmt.Errorf("obs: metrics line %d: unknown record kind %q", line, kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Validate checks span-tree well-formedness: every span ended, every parent

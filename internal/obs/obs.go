@@ -516,15 +516,24 @@ func (r *Recorder) Adopt(name string, child *Recorder) {
 
 // SetStream attaches (or, with nil, detaches) a live event stream: every
 // span start and end is published to it as it happens. The stream is
-// observation-only — attaching one cannot change recorded state, so dumps
-// stay byte-identical with or without it.
+// observation-only — attaching one cannot change recorded spans or ticks,
+// so trace dumps stay byte-identical with or without it. Attaching also
+// wires the stream's drop accounting into this recorder (CountDropsInto),
+// so slow-subscriber loss surfaces as the CtrStreamDropped counter; that
+// counter is scheduling-dependent by nature and exempted from byte-identity
+// comparisons by the run-bundle differ.
 func (r *Recorder) SetStream(s *Stream) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	prev := r.stream
 	r.stream = s
 	r.mu.Unlock()
+	if prev != nil && prev != s {
+		prev.CountDropsInto(nil)
+	}
+	s.CountDropsInto(r)
 }
 
 // EventStream returns the attached live stream (nil when none).

@@ -1,11 +1,27 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"time"
 )
+
+// DumpSchema versions the obs artifact formats (trace/metrics dumps and
+// their parsers). /healthz reports it so probes can tell which format a
+// long-running process will emit.
+const DumpSchema = "chameleon/obs/v1"
+
+// healthReport is the JSON body of a full /healthz response.
+type healthReport struct {
+	Status  string    `json:"status"`
+	UptimeS float64   `json:"uptime_s"`
+	Schema  string    `json:"schema"`
+	Build   BuildInfo `json:"build"`
+}
 
 // ServeOptions configure the live HTTP surface.
 type ServeOptions struct {
@@ -45,9 +61,26 @@ func HandlerWith(rec *Recorder, opts ServeOptions) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		rec.WritePrometheus(w, opts.Prom)
 	})
+	// /healthz keeps the allocation-free plain-text "ok" as the default —
+	// load-balancer probes hit it at high rate — and serves the full JSON
+	// report (uptime, artifact schema version, build info) when asked for
+	// it, via ?full=1 or an Accept header naming application/json.
+	started := time.Now()
+	build := Build()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
+		if r.URL.Query().Get("full") != "1" &&
+			!strings.Contains(r.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte("ok\n"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(healthReport{
+			Status:  "ok",
+			UptimeS: time.Since(started).Seconds(),
+			Schema:  DumpSchema,
+			Build:   build,
+		})
 	})
 	if opts.Stream != nil {
 		mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {

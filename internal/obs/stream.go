@@ -20,6 +20,12 @@ type Stream struct {
 	seq     uint64   // total records ever published
 	dropped int64    // records lost to slow subscribers
 	subs    map[*StreamSub]struct{}
+
+	// dropRec, when set, mirrors every drop into CtrStreamDropped on that
+	// recorder (CountDropsInto). The Add happens after the stream lock is
+	// released: the recorder may itself publish to this stream, so the two
+	// locks are never held together in either order.
+	dropRec *Recorder
 }
 
 // DefaultStreamCapacity is the backlog ring size when NewStream gets a
@@ -65,13 +71,32 @@ func (s *Stream) Publish(v any) {
 	} else {
 		s.ring = append(s.ring, line)
 	}
+	var droppedNow int64
 	for sub := range s.subs {
 		select {
 		case sub.ch <- line:
 		default:
 			s.dropped++
+			droppedNow++
 		}
 	}
+	rec := s.dropRec
+	s.mu.Unlock()
+	if droppedNow > 0 {
+		rec.Add(CtrStreamDropped, droppedNow)
+	}
+}
+
+// CountDropsInto mirrors every subsequent subscriber drop into rec's
+// CtrStreamDropped counter, making slow-subscriber loss visible on
+// /metrics and in metrics dumps. Recorder.SetStream wires this
+// automatically; a nil rec detaches. Nil-safe.
+func (s *Stream) CountDropsInto(rec *Recorder) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.dropRec = rec
 	s.mu.Unlock()
 }
 

@@ -60,6 +60,29 @@ func TestStreamDropCounter(t *testing.T) {
 	}
 }
 
+// TestStreamDropsMirroredToRecorder: a stream attached via SetStream
+// mirrors slow-subscriber loss into CtrStreamDropped, so /metrics and
+// metrics dumps show it without polling StreamSub.
+func TestStreamDropsMirroredToRecorder(t *testing.T) {
+	s := NewStream(8)
+	rec := New()
+	rec.SetStream(s)
+	_, sub := s.Subscribe(1)
+	defer sub.Close()
+	for i := 0; i < 4; i++ {
+		s.Publish(StreamRecord{Type: "t", Name: fmt.Sprintf("r%d", i)})
+	}
+	if got, want := rec.Counter(CtrStreamDropped), s.Dropped(); got != want || want != 3 {
+		t.Errorf("CtrStreamDropped = %d, stream dropped = %d, want both 3", got, want)
+	}
+	// Detaching the stream detaches the drop accounting.
+	rec.SetStream(nil)
+	s.Publish(StreamRecord{Type: "t", Name: "after"})
+	if got := rec.Counter(CtrStreamDropped); got != 3 {
+		t.Errorf("detached stream still counted: %d", got)
+	}
+}
+
 func TestStreamNilSafe(t *testing.T) {
 	var s *Stream
 	s.Publish(StreamRecord{Type: "x"}) // must not panic

@@ -157,6 +157,35 @@ func (j *Journal) Close() error {
 	return j.f.Close()
 }
 
+// DescribeEntry renders one journal entry as a one-line human-readable
+// summary — what the run-bundle differ prints when two journals first
+// disagree, so a divergence names the decision or snapshot where the runs
+// parted rather than a raw JSON blob.
+func DescribeEntry(e Entry) string {
+	head := fmt.Sprintf("#%d %s @%dns", e.Seq, e.Kind, e.SimNS)
+	switch e.Kind {
+	case KindBegin:
+		return fmt.Sprintf("%s scenario=%s seed=%d commands=%d", head, e.Scenario, e.Seed, len(e.Commands))
+	case KindSnapshot:
+		return fmt.Sprintf("%s rung=%s attempt=%d", head, e.Rung, e.Attempt)
+	case KindPlan:
+		return fmt.Sprintf("%s rounds=%d steps=%d", head, e.Rounds, e.Steps)
+	case KindExec:
+		return fmt.Sprintf("%s committed=%v err=%q", head, e.Committed, e.Err)
+	case KindDecision:
+		return fmt.Sprintf("%s decision=%s reason=%q invariant=%s", head, e.Decision, e.Reason, e.Invariant)
+	case KindTimeline:
+		n := 0
+		if e.Timeline != nil {
+			n = len(e.Timeline.Violations)
+		}
+		return fmt.Sprintf("%s violations=%d", head, n)
+	case KindOutcome:
+		return fmt.Sprintf("%s outcome=%s forced=%v", head, e.Outcome, e.Forced)
+	}
+	return head
+}
+
 // ReadJournal parses a journal file, tolerating a torn trailing line: a
 // final line that fails to parse, or whose sequence number does not follow
 // its predecessor's, is discarded (the crash interrupted its write). The
